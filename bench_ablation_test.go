@@ -1,0 +1,116 @@
+package dcl1_test
+
+// Ablation benchmarks for the design choices DESIGN.md calls out. Each
+// benchmark reports the headline effect of toggling one mechanism via the
+// custom `speedup_vs_ablated` metric (higher = mechanism helps).
+
+import (
+	"testing"
+
+	"dcl1sim"
+	"dcl1sim/internal/dram"
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/sim"
+)
+
+// BenchmarkAblationReplyTrimming measures the Section III choice of sending
+// only the requested bytes on NoC#1 instead of whole cache lines.
+func BenchmarkAblationReplyTrimming(b *testing.B) {
+	app, _ := dcl1.AppByName("T-AlexNet")
+	on, off := true, false
+	for i := 0; i < b.N; i++ {
+		dOn := dcl1.Sh40C10Boost()
+		dOn.TrimReplies = &on
+		dOff := dcl1.Sh40C10Boost()
+		dOff.TrimReplies = &off
+		cfg := smallCfg()
+		dOn.DCL1s, dOn.Clusters = 8, 2
+		dOff.DCL1s, dOff.Clusters = 8, 2
+		rOn := dcl1.Run(cfg, dOn, app)
+		rOff := dcl1.Run(cfg, dOff, app)
+		b.ReportMetric(rOn.IPC/rOff.IPC, "speedup_vs_ablated")
+	}
+}
+
+// BenchmarkAblationMSHRMerging measures MSHR request merging (MaxMerge=1
+// forces every same-line miss to stall behind the first).
+func BenchmarkAblationMSHRMerging(b *testing.B) {
+	app, _ := dcl1.AppByName("T-AlexNet")
+	for i := 0; i < b.N; i++ {
+		cfg := smallCfg()
+		merged := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+		cfgNo := cfg
+		cfgNo.L1MaxMerge = 1
+		unmerged := dcl1.Run(cfgNo, dcl1.Design{Kind: dcl1.Baseline}, app)
+		b.ReportMetric(merged.IPC/unmerged.IPC, "speedup_vs_ablated")
+	}
+}
+
+// BenchmarkAblationNoC1Boost isolates the Section VI-C frequency boost.
+func BenchmarkAblationNoC1Boost(b *testing.B) {
+	app, _ := dcl1.AppByName("P-2DCONV")
+	for i := 0; i < b.N; i++ {
+		cfg := smallCfg()
+		boosted := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Clustered, DCL1s: 8, Clusters: 2, Boost1: true}, app)
+		plain := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Clustered, DCL1s: 8, Clusters: 2}, app)
+		b.ReportMetric(boosted.IPC/plain.IPC, "speedup_vs_ablated")
+	}
+}
+
+// BenchmarkAblationFRFCFS measures first-ready scheduling against in-order
+// service on a row-locality-heavy request stream.
+func BenchmarkAblationFRFCFS(b *testing.B) {
+	mkStream := func() []*mem.Access {
+		var out []*mem.Access
+		rng := sim.NewRNG(7)
+		for i := 0; i < 2000; i++ {
+			// Two interleaved row-local streams plus noise.
+			var line uint64
+			switch i % 4 {
+			case 0, 1:
+				line = uint64(i % 16) // row 0, bank 0
+			case 2:
+				line = 16*16 + uint64(i%16) // row 1, bank 0
+			default:
+				line = uint64(rng.Intn(1 << 16))
+			}
+			out = append(out, &mem.Access{Kind: mem.Load, Line: line, ReqBytes: mem.LineBytes})
+		}
+		return out
+	}
+	run := func(fcfs bool) sim.Cycle {
+		ch := dram.New(dram.Params{Name: "ab", FCFS: fcfs})
+		stream := mkStream()
+		sent, done := 0, 0
+		var cyc sim.Cycle
+		for ; done < len(stream) && cyc < 1_000_000; cyc++ {
+			for sent < len(stream) && ch.In.Push(stream[sent]) {
+				sent++
+			}
+			ch.Tick(cyc)
+			for {
+				if _, ok := ch.Out.Pop(); !ok {
+					break
+				}
+				done++
+			}
+		}
+		return cyc
+	}
+	for i := 0; i < b.N; i++ {
+		frfcfs := run(false)
+		fcfs := run(true)
+		b.ReportMetric(float64(fcfs)/float64(frfcfs), "speedup_vs_ablated")
+	}
+}
+
+// BenchmarkSimulatorThroughput reports raw simulation speed (core-cycles
+// simulated per second) on the 80-core machine.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	app, _ := dcl1.AppByName("C-BFS")
+	cfg := dcl1.Config{WarmupCycles: 2000, MeasureCycles: 8000}
+	for i := 0; i < b.N; i++ {
+		dcl1.Run(cfg, dcl1.Sh40C10Boost(), app)
+	}
+	b.ReportMetric(float64(b.N)*10000/b.Elapsed().Seconds(), "core-cycles/s")
+}

@@ -1,0 +1,71 @@
+package dcl1_test
+
+// One benchmark per paper artifact: each regenerates the corresponding table
+// or figure on the quick machine (16 cores, short windows), so
+// `go test -bench=.` exercises every experiment end to end in minutes.
+// The full-fidelity 80-core evaluation is `dcl1bench -run all` (see
+// EXPERIMENTS.md for its paper-vs-measured record).
+
+import (
+	"testing"
+
+	"dcl1sim/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.QuickContext()
+		t := e.Run(ctx)
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// Motivation (Section II).
+func BenchmarkFig1(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkSec2C(b *testing.B) { benchExperiment(b, "sec2c") }
+
+// Private DC-L1s (Section IV).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkFig4(b *testing.B)   { benchExperiment(b, "fig4") }
+func BenchmarkFig6(b *testing.B)   { benchExperiment(b, "fig6") }
+
+// Shared DC-L1s (Section V).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// Clustered shared DC-L1s (Section VI).
+func BenchmarkFig11(b *testing.B)  { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)  { benchExperiment(b, "fig12") }
+func BenchmarkFig13a(b *testing.B) { benchExperiment(b, "fig13a") }
+func BenchmarkFig13b(b *testing.B) { benchExperiment(b, "fig13b") }
+
+// Main evaluation (Section VIII).
+func BenchmarkFig14(b *testing.B)   { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)   { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)   { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)   { benchExperiment(b, "fig17") }
+func BenchmarkFig18a(b *testing.B)  { benchExperiment(b, "fig18a") }
+func BenchmarkFig18b(b *testing.B)  { benchExperiment(b, "fig18b") }
+func BenchmarkLatency(b *testing.B) { benchExperiment(b, "lat") }
+
+// Sensitivity studies (Section VIII-A).
+func BenchmarkFig19a(b *testing.B)      { benchExperiment(b, "fig19a") }
+func BenchmarkFig19b(b *testing.B)      { benchExperiment(b, "fig19b") }
+func BenchmarkCTASched(b *testing.B)    { benchExperiment(b, "cta") }
+func BenchmarkSystemSize(b *testing.B)  { benchExperiment(b, "size") }
+func BenchmarkBoostedBase(b *testing.B) { benchExperiment(b, "boostbase") }
+
+// Extensions beyond the paper.
+func BenchmarkExtPrefetch(b *testing.B)  { benchExperiment(b, "ext-prefetch") }
+func BenchmarkExtAnalytic(b *testing.B)  { benchExperiment(b, "ext-analytic") }
+func BenchmarkExtMultiprog(b *testing.B) { benchExperiment(b, "ext-multiprog") }
+func BenchmarkExtMesh(b *testing.B)      { benchExperiment(b, "ext-mesh") }
+func BenchmarkExtWriteback(b *testing.B) { benchExperiment(b, "ext-writeback") }

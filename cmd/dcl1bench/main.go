@@ -1,0 +1,79 @@
+// Command dcl1bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dcl1bench -list                 # show available experiments
+//	dcl1bench -run fig14            # regenerate one artifact
+//	dcl1bench -run fig14,fig16      # several
+//	dcl1bench -run all              # the full evaluation (minutes)
+//	dcl1bench -quick -run fig14     # small machine, smoke-test fidelity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dcl1sim/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list experiments")
+		run     = flag.String("run", "", "experiment id(s), comma-separated, or 'all'")
+		quick   = flag.Bool("quick", false, "small machine and windows (fast, smoke-test fidelity)")
+		verbose = flag.Bool("v", false, "print each simulation as it runs")
+		format  = flag.String("format", "text", "output format: text or md")
+		plot    = flag.Bool("plot", false, "also render ASCII S-curves for single-metric experiments")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Printf("%-10s %s\n", "ID", "TITLE")
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			fmt.Printf("%-10s   paper: %s\n", "", e.Paper)
+		}
+		return
+	}
+
+	ctx := experiments.NewContext()
+	if *quick {
+		ctx = experiments.QuickContext()
+	}
+	if *verbose {
+		ctx.Progress = os.Stderr
+	}
+
+	var ids []string
+	if *run == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		e, ok := experiments.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		t0 := time.Now()
+		table := e.Run(ctx)
+		if *format == "md" {
+			table.Markdown(os.Stdout)
+		} else {
+			table.Render(os.Stdout)
+			fmt.Printf("  (%s in %v)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
+		}
+		if *plot {
+			for _, col := range table.Columns {
+				experiments.SCurve(os.Stdout, table, col, 12)
+				fmt.Println()
+			}
+		}
+	}
+}

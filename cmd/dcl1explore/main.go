@@ -1,0 +1,108 @@
+// Command dcl1explore sweeps the two design knobs of the paper — DC-L1 node
+// count Y (aggregation, Section IV) and cluster count Z (sharing
+// granularity, Section VI) — for one workload, and prints speedup, miss
+// rate, replicas, and NoC area for every point, plus the best
+// performance-per-area design.
+//
+// Usage:
+//
+//	dcl1explore -app T-AlexNet [-boost] [-cycles 20000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcl1sim"
+	"dcl1sim/internal/sim"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "T-AlexNet", "application to explore")
+		boost   = flag.Bool("boost", true, "boost NoC#1 to 2x where the crossbars allow it")
+		cycles  = flag.Int64("cycles", 16000, "measurement window in core cycles")
+		warmup  = flag.Int64("warmup", 8000, "warmup window in core cycles")
+	)
+	flag.Parse()
+
+	app, ok := dcl1.AppByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
+		os.Exit(1)
+	}
+	cfg := dcl1.Config{MeasureCycles: sim.Cycle(*cycles), WarmupCycles: sim.Cycle(*warmup)}
+
+	base := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+	baseNoC := dcl1.DesignNoC(cfg, dcl1.Design{Kind: dcl1.Baseline})
+	fmt.Printf("app %s: baseline IPC %.2f, miss %.2f, replication %.2f\n\n",
+		app.Name, base.IPC, base.L1MissRate, base.ReplicationRatio)
+
+	type point struct {
+		d       dcl1.Design
+		speed   float64
+		area    float64
+		miss    float64
+		repl    float64
+		canRun  bool
+		boosted bool
+	}
+	var pts []point
+
+	// Aggregation axis: private designs.
+	for _, y := range []int{80, 40, 20, 10} {
+		pts = append(pts, point{d: dcl1.Design{Kind: dcl1.Private, DCL1s: y}})
+	}
+	// Sharing-granularity axis: clusters of Sh40.
+	for _, z := range []int{1, 5, 10, 20} {
+		d := dcl1.Design{Kind: dcl1.Clustered, DCL1s: 40, Clusters: z}
+		if z == 1 {
+			d = dcl1.Sh40()
+		}
+		pts = append(pts, point{d: d})
+		if *boost {
+			db := d
+			db.Boost1 = true
+			pts = append(pts, point{d: db, boosted: true})
+		}
+	}
+
+	fmt.Printf("%-18s %8s %8s %9s %9s %8s\n", "design", "speedup", "miss", "replicas", "NoC area", "boostOK")
+	best := -1
+	bestScore := 0.0
+	for i := range pts {
+		p := &pts[i]
+		// Feasibility of the boost: every NoC#1 crossbar must clock 2x.
+		p.canRun = true
+		if p.boosted {
+			spec := dcl1.DesignNoC(cfg, p.d)
+			for _, x := range spec.Xbars {
+				if x.FreqMHz > dcl1.NoCMaxFreqMHz(x.In, x.Out) {
+					p.canRun = false
+				}
+			}
+		}
+		if !p.canRun {
+			fmt.Printf("%-18s %8s\n", p.d.Name(), "infeasible (fmax)")
+			continue
+		}
+		r := dcl1.Run(cfg, p.d, app)
+		noc := dcl1.DesignNoC(cfg, p.d)
+		p.speed = r.IPC / base.IPC
+		p.miss = r.L1MissRate
+		p.repl = r.MeanReplicas
+		p.area = noc.Area() / baseNoC.Area()
+		score := p.speed / p.area
+		mark := ""
+		if score > bestScore {
+			bestScore, best = score, i
+		}
+		fmt.Printf("%-18s %7.2fx %8.2f %9.2f %8.2fx %8v%s\n",
+			p.d.Name(), p.speed, p.miss, p.repl, p.area, p.canRun, mark)
+	}
+	if best >= 0 {
+		fmt.Printf("\nbest performance-per-NoC-area: %s (%.2fx speedup at %.2fx area)\n",
+			pts[best].d.Name(), pts[best].speed, pts[best].area)
+	}
+}

@@ -1,0 +1,91 @@
+// Command dcl1sim runs one application on one cache organization and prints
+// the measurements.
+//
+// Usage:
+//
+//	dcl1sim -app T-AlexNet -design Sh40+C10+Boost [-cores 80] [-cycles 40000]
+//	dcl1sim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dcl1sim"
+	"dcl1sim/internal/sim"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "T-AlexNet", "application name (see -list)")
+		design  = flag.String("design", "Sh40+C10+Boost", "design: Baseline, PrY, ShY, ShY+CZ[+Boost], CDXBar[+2xNoC[1]], SingleL1")
+		cores   = flag.Int("cores", 0, "core count (default 80)")
+		cycles  = flag.Int64("cycles", 0, "measurement window in core cycles (default 40000)")
+		warmup  = flag.Int64("warmup", 0, "warmup window in core cycles (default 10000)")
+		sched   = flag.String("sched", "rr", "CTA scheduler: rr or distributed")
+		seed    = flag.Uint64("seed", 1, "workload seed")
+		list    = flag.Bool("list", false, "list applications and exit")
+		cfgPath = flag.String("config", "", "machine configuration JSON file (overrides other machine flags)")
+		asJSON  = flag.Bool("json", false, "emit results as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-14s %-10s %-22s %6s %6s\n", "NAME", "SUITE", "CLASS", "REPL", "MISS")
+		for _, a := range dcl1.Apps() {
+			fmt.Printf("%-14s %-10s %-22s %5.0f%% %5.0f%%\n",
+				a.Name, a.Suite, className(a.Class), a.PaperReplRatio*100, a.PaperMissRate*100)
+		}
+		return
+	}
+
+	app, ok := dcl1.AppByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q (use -list)\n", *appName)
+		os.Exit(1)
+	}
+	d, err := dcl1.ParseDesign(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg := dcl1.Config{
+		Cores:         *cores,
+		MeasureCycles: sim.Cycle(*cycles),
+		WarmupCycles:  sim.Cycle(*warmup),
+		Seed:          *seed,
+	}
+	if *cfgPath != "" {
+		f, err := os.Open(*cfgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg, err = dcl1.LoadConfig(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Seed = *seed
+	}
+	if *sched == "distributed" {
+		cfg.Sched = dcl1.Distributed
+	}
+
+	r := dcl1.Run(cfg, d, app)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(r.Summary())
+}
+
+func className(c interface{ String() string }) string { return c.String() }

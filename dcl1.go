@@ -1,0 +1,146 @@
+// Package dcl1 is the public API of dcl1sim, a cycle-level GPU
+// memory-hierarchy simulator reproducing "Analyzing and Leveraging Decoupled
+// L1 Caches in GPUs" (HPCA 2021).
+//
+// The simulator models a GPGPU-Sim-class machine — SIMT cores with
+// wavefronts, private or decoupled L1 caches, crossbar NoCs, banked L2
+// slices, and GDDR5 memory controllers — and evaluates the paper's cache
+// organizations:
+//
+//	Baseline        private per-core L1s behind an 80×32 crossbar
+//	PrY             Y private aggregated DC-L1 nodes (Section IV)
+//	ShY             Y fully shared DC-L1 nodes, home = line mod Y (Section V)
+//	ShY+CZ          Z clusters of shared DC-L1s (Section VI)
+//	ShY+CZ+Boost    NoC#1 at twice the interconnect clock (Section VI-C)
+//	CDXBar          hierarchical two-stage crossbar baseline (Section VIII-A)
+//
+// Quick start:
+//
+//	app, _ := dcl1.AppByName("T-AlexNet")
+//	base := dcl1.Run(dcl1.Config{}, dcl1.Design{Kind: dcl1.Baseline}, app)
+//	ours := dcl1.Run(dcl1.Config{}, dcl1.Sh40C10Boost(), app)
+//	fmt.Printf("speedup: %.2fx\n", ours.IPC/base.IPC)
+//
+// Measurements beyond IPC include L1/DC-L1 miss rates, cache-line
+// replication (ratio and replicas per line), data-port and NoC-link
+// utilization, round-trip latencies, and flit counts that feed the DSENT- and
+// CACTI-like area/power models in this package.
+package dcl1
+
+import (
+	"io"
+
+	"dcl1sim/internal/gpu"
+	"dcl1sim/internal/power"
+	"dcl1sim/internal/workload"
+)
+
+// Config is the simulated machine configuration. The zero value is the
+// paper's 80-core GPU (Table II): 80 cores @1400 MHz, 32 KB 4-way write-evict
+// L1s, 32×128 KB L2 slices, 80×32 crossbar @700 MHz with 32 B flits, and 16
+// GDDR5 channels @924 MHz.
+type Config = gpu.Config
+
+// Design selects a cache organization and its study knobs.
+type Design = gpu.Design
+
+// DesignKind enumerates the organizations.
+type DesignKind = gpu.DesignKind
+
+// Results holds the measurements of one run.
+type Results = gpu.Results
+
+// Organization kinds.
+const (
+	Baseline  = gpu.Baseline
+	Private   = gpu.Private
+	Shared    = gpu.Shared
+	Clustered = gpu.Clustered
+	CDXBar    = gpu.CDXBar
+	SingleL1  = gpu.SingleL1
+	MeshBase  = gpu.MeshBase
+)
+
+// AppSpec describes one synthetic application (see package workload for the
+// parameter semantics and the substitution rationale).
+type AppSpec = workload.Spec
+
+// Scheduler is the CTA scheduling policy.
+type Scheduler = workload.Sched
+
+// CTA schedulers (Section VIII-A sensitivity study).
+const (
+	RoundRobin  = workload.RoundRobin
+	Distributed = workload.Distributed
+)
+
+// Application classes.
+const (
+	ReplicationSensitive = workload.ReplicationSensitive
+	PoorPerforming       = workload.PoorPerforming
+	Insensitive          = workload.Insensitive
+)
+
+// Run executes app on the given machine and design and returns measurements.
+func Run(cfg Config, d Design, app AppSpec) Results { return runSource(cfg, d, app) }
+
+// LoadConfig reads a machine configuration from JSON (unknown fields are
+// rejected; omitted fields take the Table II defaults).
+func LoadConfig(r io.Reader) (Config, error) { return gpu.LoadConfig(r) }
+
+func runSource(cfg Config, d Design, w Workload) Results { return gpu.Run(cfg, d, w) }
+
+// Apps returns all 28 evaluated applications, sorted by name.
+func Apps() []AppSpec { return workload.Apps() }
+
+// AppByName looks up an application spec.
+func AppByName(name string) (AppSpec, bool) { return workload.ByName(name) }
+
+// SensitiveApps returns the 12 replication-sensitive applications.
+func SensitiveApps() []AppSpec { return workload.Sensitive() }
+
+// PoorApps returns the five poor-performing replication-insensitive apps.
+func PoorApps() []AppSpec { return workload.Poor() }
+
+// InsensitiveApps returns all 16 replication-insensitive applications.
+func InsensitiveApps() []AppSpec { return workload.InsensitiveApps() }
+
+// Common design shorthands matching the paper's names.
+
+// Pr40 is the private aggregated DC-L1 design with 40 nodes.
+func Pr40() Design { return Design{Kind: Private, DCL1s: 40} }
+
+// Sh40 is the fully shared DC-L1 design with 40 nodes.
+func Sh40() Design { return Design{Kind: Shared, DCL1s: 40} }
+
+// Sh40C10 is the clustered shared design: 40 DC-L1s in 10 clusters.
+func Sh40C10() Design { return Design{Kind: Clustered, DCL1s: 40, Clusters: 10} }
+
+// Sh40C10Boost is the paper's final design: Sh40+C10 with NoC#1 at 2x clock.
+func Sh40C10Boost() Design {
+	return Design{Kind: Clustered, DCL1s: 40, Clusters: 10, Boost1: true}
+}
+
+// NoCSpec describes a NoC design to the area/power model.
+type NoCSpec = power.NoCSpec
+
+// DesignNoC returns the power-model view of a design's NoC.
+func DesignNoC(cfg Config, d Design) NoCSpec { return gpu.DesignNoCSpec(cfg, d) }
+
+// NoCMaxFreqMHz estimates the maximum operating frequency of an in×out
+// crossbar (the paper's Fig 13b DSENT study).
+func NoCMaxFreqMHz(in, out int) float64 { return power.MaxFreqMHz(in, out) }
+
+// CacheArea returns the modeled area of a cache level of totalBytes split
+// into nodes banks (CACTI-like; arbitrary units, compare ratios).
+func CacheArea(totalBytes, nodes int) float64 { return power.CacheArea(totalBytes, nodes) }
+
+// CacheAccessLatency returns the modeled access latency in core cycles of a
+// cache bank, anchored at baseLat cycles for 32 KB.
+func CacheAccessLatency(bankBytes, baseLat int) int {
+	return power.CacheAccessLatency(bankBytes, baseLat)
+}
+
+// QueueArea returns the area of the Fig 3 node queues for `nodes` DC-L1
+// nodes, in the same units as CacheArea.
+func QueueArea(nodes int) float64 { return power.QueueArea(nodes) }

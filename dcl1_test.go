@@ -1,0 +1,90 @@
+package dcl1_test
+
+import (
+	"testing"
+
+	"dcl1sim"
+)
+
+// smallCfg keeps public-API tests fast.
+func smallCfg() dcl1.Config {
+	return dcl1.Config{
+		Cores: 16, L2Slices: 8, Channels: 4,
+		WarmupCycles: 1500, MeasureCycles: 4000,
+	}
+}
+
+func TestPublicAppRegistry(t *testing.T) {
+	if n := len(dcl1.Apps()); n != 28 {
+		t.Fatalf("Apps() = %d, want 28", n)
+	}
+	if n := len(dcl1.SensitiveApps()); n != 12 {
+		t.Fatalf("SensitiveApps() = %d, want 12", n)
+	}
+	if n := len(dcl1.PoorApps()); n != 5 {
+		t.Fatalf("PoorApps() = %d, want 5", n)
+	}
+	if n := len(dcl1.InsensitiveApps()); n != 16 {
+		t.Fatalf("InsensitiveApps() = %d, want 16", n)
+	}
+	if _, ok := dcl1.AppByName("T-AlexNet"); !ok {
+		t.Fatal("T-AlexNet missing")
+	}
+}
+
+func TestPublicDesignShorthands(t *testing.T) {
+	cases := map[string]dcl1.Design{
+		"Pr40":           dcl1.Pr40(),
+		"Sh40":           dcl1.Sh40(),
+		"Sh40+C10":       dcl1.Sh40C10(),
+		"Sh40+C10+Boost": dcl1.Sh40C10Boost(),
+	}
+	for want, d := range cases {
+		if got := d.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestPublicRunEndToEnd(t *testing.T) {
+	app, _ := dcl1.AppByName("C-BFS")
+	base := dcl1.Run(smallCfg(), dcl1.Design{Kind: dcl1.Baseline}, app)
+	if base.IPC <= 0 || base.L1MissRate <= 0 {
+		t.Fatalf("degenerate baseline: %+v", base)
+	}
+	sh := dcl1.Run(smallCfg(), dcl1.Design{Kind: dcl1.Shared, DCL1s: 8}, app)
+	if sh.ReplicationRatio > 0.01 {
+		t.Fatalf("shared design must eliminate replication, got %f", sh.ReplicationRatio)
+	}
+}
+
+func TestPublicPowerModels(t *testing.T) {
+	cfg := dcl1.Config{}
+	baseNoC := dcl1.DesignNoC(cfg, dcl1.Design{Kind: dcl1.Baseline})
+	oursNoC := dcl1.DesignNoC(cfg, dcl1.Sh40C10Boost())
+	if r := oursNoC.Area() / baseNoC.Area(); r > 0.7 {
+		t.Errorf("Sh40+C10 NoC area ratio = %.2f, paper reports ~0.50", r)
+	}
+	if f := dcl1.NoCMaxFreqMHz(8, 4); f < 1400 {
+		t.Errorf("8x4 crossbar must sustain 1400 MHz, got %.0f", f)
+	}
+	if lat := dcl1.CacheAccessLatency(64*1024, 28); lat != 30 {
+		t.Errorf("64KB access latency = %d, want 30", lat)
+	}
+	if a := dcl1.CacheArea(80*32*1024, 40) / dcl1.CacheArea(80*32*1024, 80); a > 0.95 {
+		t.Errorf("aggregated cache area ratio = %.2f, want ~0.92", a)
+	}
+	if q := dcl1.QueueArea(40) / float64(80*32*1024); q < 0.06 || q > 0.07 {
+		t.Errorf("queue overhead = %.4f, want ~0.0625", q)
+	}
+}
+
+func TestPublicSchedulerKnob(t *testing.T) {
+	app, _ := dcl1.AppByName("T-AlexNet")
+	cfg := smallCfg()
+	cfg.Sched = dcl1.Distributed
+	r := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+	if r.IPC <= 0 {
+		t.Fatal("distributed scheduler run failed")
+	}
+}

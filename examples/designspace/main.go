@@ -1,0 +1,53 @@
+// Designspace: explore the paper's two design knobs — DC-L1 aggregation (Y)
+// and sharing granularity (cluster count Z) — on a custom workload, showing
+// the replication / peak-bandwidth / NoC-cost trade-off of Sections IV-VI.
+package main
+
+import (
+	"fmt"
+
+	"dcl1sim"
+)
+
+func main() {
+	// A custom replication-heavy kernel: most accesses hit a 1.5k-line
+	// shared structure; a moderate private stream supplies background
+	// misses. See dcl1.AppSpec for the full parameter glossary.
+	app := dcl1.AppSpec{
+		Name: "my-kernel", Suite: "custom",
+		Waves: 24, ComputePerMem: 1, BlockEvery: 3,
+		SharedLines: 1500, SharedFrac: 0.9, SharedZipf: 0.3,
+		PrivateLines: 300, CoalescedLines: 1, WriteFrac: 0.08,
+	}
+	cfg := dcl1.Config{WarmupCycles: 8000, MeasureCycles: 16000}
+
+	base := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+	baseNoC := dcl1.DesignNoC(cfg, dcl1.Design{Kind: dcl1.Baseline})
+	fmt.Printf("baseline IPC %.2f, miss %.2f, repl %.2f\n\n", base.IPC, base.L1MissRate, base.ReplicationRatio)
+
+	fmt.Println("-- aggregation sweep (private DC-L1s, Section IV) --")
+	fmt.Printf("%-8s %8s %8s %10s %10s\n", "design", "speedup", "miss", "replicas", "NoC area")
+	for _, y := range []int{80, 40, 20, 10} {
+		d := dcl1.Design{Kind: dcl1.Private, DCL1s: y}
+		r := dcl1.Run(cfg, d, app)
+		noc := dcl1.DesignNoC(cfg, d)
+		fmt.Printf("Pr%-6d %7.2fx %8.2f %10.2f %9.2fx\n",
+			y, r.IPC/base.IPC, r.L1MissRate, r.MeanReplicas, noc.Area()/baseNoC.Area())
+	}
+
+	fmt.Println("\n-- sharing-granularity sweep (clusters, Section VI) --")
+	fmt.Printf("%-10s %8s %8s %10s %10s\n", "design", "speedup", "miss", "replicas", "NoC area")
+	for _, z := range []int{1, 5, 10, 20} {
+		d := dcl1.Design{Kind: dcl1.Clustered, DCL1s: 40, Clusters: z}
+		if z == 1 {
+			d = dcl1.Sh40()
+		}
+		r := dcl1.Run(cfg, d, app)
+		noc := dcl1.DesignNoC(cfg, d)
+		fmt.Printf("Sh40+C%-3d %7.2fx %8.2f %10.2f %9.2fx\n",
+			z, r.IPC/base.IPC, r.L1MissRate, r.MeanReplicas, noc.Area()/baseNoC.Area())
+	}
+
+	boost := dcl1.Run(cfg, dcl1.Sh40C10Boost(), app)
+	fmt.Printf("\nSh40+C10+Boost: %.2fx speedup\n", boost.IPC/base.IPC)
+}

@@ -1,0 +1,34 @@
+// Multiprog: concurrent kernels. A replication-heavy CNN and a cache-hostile
+// streamer co-run on disjoint halves of the GPU. Under the fully shared
+// DC-L1 organization the streamer's misses wash through every cache and
+// evict the CNN's deduplicated weights; the clustered organization keeps
+// each application's working set inside its own clusters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcl1sim"
+)
+
+func main() {
+	cnn, ok1 := dcl1.AppByName("T-AlexNet")
+	stream, ok2 := dcl1.AppByName("C-BLK")
+	if !ok1 || !ok2 {
+		log.Fatal("apps not found")
+	}
+	cfg := dcl1.Config{WarmupCycles: 8000, MeasureCycles: 16000}
+	pair := dcl1.NewPartition(80, cnn, stream)
+
+	base := dcl1.RunWorkload(cfg, dcl1.Design{Kind: dcl1.Baseline}, pair)
+	fmt.Printf("co-running %s (cores 0-39) with %s (cores 40-79)\n\n", cnn.Name, stream.Name)
+	fmt.Printf("%-18s %10s %10s\n", "design", "IPC ratio", "miss rate")
+	fmt.Printf("%-18s %10.2f %10.2f\n", "Baseline", 1.0, base.L1MissRate)
+	for _, d := range []dcl1.Design{dcl1.Sh40(), dcl1.Sh40C10Boost()} {
+		r := dcl1.RunWorkload(cfg, d, pair)
+		fmt.Printf("%-18s %10.2f %10.2f\n", r.Design, r.IPC/base.IPC, r.L1MissRate)
+	}
+	fmt.Println("\nthe clustered design isolates the streamer's pollution to its own clusters;")
+	fmt.Println("the fully shared design lets it thrash the CNN's deduplicated working set")
+}

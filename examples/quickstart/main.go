@@ -1,0 +1,33 @@
+// Quickstart: run one workload on the baseline GPU and on the paper's final
+// design (Sh40+C10+Boost), and compare the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcl1sim"
+)
+
+func main() {
+	app, ok := dcl1.AppByName("T-AlexNet")
+	if !ok {
+		log.Fatal("app not found")
+	}
+
+	// The zero-value Config is the paper's 80-core machine (Table II).
+	// Shorter windows keep the example snappy.
+	cfg := dcl1.Config{WarmupCycles: 8000, MeasureCycles: 16000}
+
+	baseline := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+	ours := dcl1.Run(cfg, dcl1.Sh40C10Boost(), app)
+
+	fmt.Printf("workload: %s (%s)\n\n", app.Name, app.Suite)
+	fmt.Printf("%-24s %12s %12s\n", "", "Baseline", "Sh40+C10+Boost")
+	fmt.Printf("%-24s %12.2f %12.2f\n", "IPC", baseline.IPC, ours.IPC)
+	fmt.Printf("%-24s %12.2f %12.2f\n", "L1 miss rate", baseline.L1MissRate, ours.L1MissRate)
+	fmt.Printf("%-24s %12.2f %12.2f\n", "replication ratio", baseline.ReplicationRatio, ours.ReplicationRatio)
+	fmt.Printf("%-24s %12.2f %12.2f\n", "replicas per line", baseline.MeanReplicas, ours.MeanReplicas)
+	fmt.Printf("%-24s %12.1f %12.1f\n", "mean load RTT (cyc)", baseline.MeanRTT, ours.MeanRTT)
+	fmt.Printf("\nspeedup: %.2fx\n", ours.IPC/baseline.IPC)
+}

@@ -1,0 +1,3 @@
+module dcl1sim
+
+go 1.22

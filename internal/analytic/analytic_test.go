@@ -1,0 +1,143 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dcl1sim/internal/workload"
+)
+
+func TestZipfCDFShape(t *testing.T) {
+	if got := zipfCDF(1000, 1000, 0.5); math.Abs(got-1) > 0.01 {
+		t.Fatalf("CDF at n = %f, want 1", got)
+	}
+	if zipfCDF(0, 1000, 0.5) > 0.01 {
+		t.Fatal("CDF at 0 must be ~0")
+	}
+	// Skewed distributions concentrate early mass.
+	if zipfCDF(100, 1000, 1.0) <= zipfCDF(100, 1000, 0.0) {
+		t.Fatal("higher skew must concentrate mass at low indices")
+	}
+	// s=0 is uniform.
+	if got := zipfCDF(500, 1000, 0); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("uniform CDF(500/1000) = %f", got)
+	}
+}
+
+func TestHitRateEverythingFits(t *testing.T) {
+	pop := buildPopularity(100, 0.5, 1.0, 0, 0)
+	if hr := HitRate(pop, 200); math.Abs(hr-1) > 0.01 {
+		t.Fatalf("hit rate = %f when footprint fits", hr)
+	}
+}
+
+func TestHitRateShrinksWithFootprint(t *testing.T) {
+	small := buildPopularity(300, 0.3, 1.0, 0, 0)
+	big := buildPopularity(3000, 0.3, 1.0, 0, 0)
+	hs, hb := HitRate(small, 256), HitRate(big, 256)
+	if hb >= hs {
+		t.Fatalf("bigger footprint must hit less: %f vs %f", hb, hs)
+	}
+}
+
+func TestHitRateGrowsWithCapacity(t *testing.T) {
+	pop := buildPopularity(2000, 0.3, 0.9, 1000, 0.1)
+	h1 := HitRate(pop, 256)
+	h16 := HitRate(pop, 4096)
+	if h16 <= h1 {
+		t.Fatalf("16x capacity must raise hit rate: %f vs %f", h16, h1)
+	}
+}
+
+func TestStreamingHitsNothing(t *testing.T) {
+	// Pure uniform stream over a huge footprint: near-zero hit rate.
+	pop := buildPopularity(0, 0, 0, 1000000, 1.0)
+	if hr := HitRate(pop, 256); hr > 0.01 {
+		t.Fatalf("streaming hit rate = %f", hr)
+	}
+}
+
+func TestCharacteristicTimeMonotone(t *testing.T) {
+	pop := buildPopularity(5000, 0.4, 1.0, 0, 0)
+	t1 := CharacteristicTime(pop, 100)
+	t2 := CharacteristicTime(pop, 1000)
+	if t2 <= t1 {
+		t.Fatalf("T must grow with capacity: %f vs %f", t1, t2)
+	}
+}
+
+func TestPredictBaselineMatchesIntuition(t *testing.T) {
+	hot, _ := workload.ByName("T-AlexNet") // big shared footprint, high f
+	cold, _ := workload.ByName("C-NN")     // tiny private footprint
+	m := Machine{}
+	ph := PredictBaseline(hot, m)
+	pc := PredictBaseline(cold, m)
+	if ph.MissRate < 0.5 {
+		t.Fatalf("T-AlexNet predicted miss %f, expected high", ph.MissRate)
+	}
+	if pc.MissRate > 0.3 {
+		t.Fatalf("C-NN predicted miss %f, expected low", pc.MissRate)
+	}
+	if ph.ReplicationRatio < 0.5 {
+		t.Fatalf("T-AlexNet predicted replication %f, expected high", ph.ReplicationRatio)
+	}
+	if pc.ReplicationRatio > 0.2 {
+		t.Fatalf("C-NN predicted replication %f, expected ~0", pc.ReplicationRatio)
+	}
+}
+
+func TestPredictSharedBeatsBaselineForSharingApps(t *testing.T) {
+	for _, name := range []string{"T-AlexNet", "P-ATAX", "C-BFS"} {
+		app, _ := workload.ByName(name)
+		b := PredictBaseline(app, Machine{})
+		s := PredictShared(app, Machine{Clusters: 1}) // Sh40
+		if s.MissRate >= b.MissRate {
+			t.Errorf("%s: shared predicted miss %f !< baseline %f", name, s.MissRate, b.MissRate)
+		}
+		c := PredictShared(app, Machine{Clusters: 10}) // Sh40+C10
+		if c.MissRate > b.MissRate+0.01 {
+			t.Errorf("%s: clustered predicted miss %f above baseline %f", name, c.MissRate, b.MissRate)
+		}
+		if s.MissRate > c.MissRate+0.01 {
+			continue // fully shared should be at least as good as clustered
+		}
+	}
+}
+
+// Property: predictions are always valid probabilities and capacity scaling
+// never hurts.
+func TestPredictionBoundsProperty(t *testing.T) {
+	f := func(sRaw, pRaw uint16, fRaw, zRaw uint8) bool {
+		app := workload.Spec{
+			Name:        "prop",
+			Waves:       8,
+			SharedLines: int(sRaw%5000) + 1, SharedFrac: float64(fRaw%101) / 100,
+			SharedZipf:   float64(zRaw%30) / 10,
+			PrivateLines: int(pRaw%3000) + 1,
+		}
+		p1 := PredictBaseline(app, Machine{})
+		p16 := PredictBaseline(app, Machine{CapacityMult: 16})
+		okBounds := p1.MissRate >= 0 && p1.MissRate <= 1 &&
+			p1.ReplicationRatio >= 0 && p1.ReplicationRatio <= 1
+		return okBounds && p16.MissRate <= p1.MissRate+0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictPrivateBetweenBaselineAndShared(t *testing.T) {
+	// Aggregation without sharing sits between the private baseline and the
+	// fully shared organization.
+	for _, name := range []string{"T-AlexNet", "C-BFS"} {
+		app, _ := workload.ByName(name)
+		b := PredictBaseline(app, Machine{})
+		p := PredictPrivate(app, Machine{DCL1s: 40})
+		s := PredictShared(app, Machine{Clusters: 1})
+		if !(s.MissRate <= p.MissRate+0.02 && p.MissRate <= b.MissRate+0.02) {
+			t.Errorf("%s: ordering violated: sh=%f pr=%f base=%f",
+				name, s.MissRate, p.MissRate, b.MissRate)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package cache
+
+import (
+	"fmt"
+
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/sim"
+)
+
+// Policy selects the write behaviour of a controller.
+type Policy uint8
+
+// Write policies. WriteEvict is the paper's L1/DC-L1 policy: a write hit
+// evicts the line and forwards the write to the next level; a write miss
+// allocates nothing (no-write-allocate). WriteBack is the L2 policy: write
+// hits dirty the line locally and dirty victims are written back on eviction.
+const (
+	WriteEvict Policy = iota
+	WriteBack
+)
+
+// Params configures a cache controller.
+type Params struct {
+	Name       string
+	Sets       int
+	Ways       int
+	HitLatency sim.Cycle
+	MSHRs      int // outstanding distinct misses
+	MaxMerge   int // requests merged per MSHR (including the first)
+	Ports      int // array accesses accepted per cycle (banking approximation)
+	Policy     Policy
+	Perfect    bool // every access hits (Fig 4c study)
+	// PrefetchNext issues best-effort fetches for the N lines following a
+	// demand miss (a simple sequential prefetcher; extension study).
+	PrefetchNext int
+	// PrefetchStride spaces the prefetched lines. Home-sliced DC-L1s only
+	// cache every Y-th line, so their natural stride is the home modulus.
+	PrefetchStride int
+
+	// Queue capacities.
+	InCap, OutCap, MissCap, FillCap int
+}
+
+// withDefaults fills zero fields with safe defaults.
+func (p Params) withDefaults() Params {
+	if p.Ports <= 0 {
+		p.Ports = 1
+	}
+	if p.MSHRs <= 0 {
+		p.MSHRs = 64
+	}
+	if p.MaxMerge <= 0 {
+		p.MaxMerge = 8
+	}
+	if p.InCap <= 0 {
+		p.InCap = 8
+	}
+	if p.OutCap <= 0 {
+		p.OutCap = 8
+	}
+	if p.MissCap <= 0 {
+		p.MissCap = 8
+	}
+	if p.FillCap <= 0 {
+		p.FillCap = 8
+	}
+	return p
+}
+
+// Stats aggregates controller activity. Hit/miss accounting covers loads
+// only (the paper's L1 miss rate); store counters are separate.
+type Stats struct {
+	Loads            int64
+	LoadHits         int64
+	LoadMisses       int64
+	Stores           int64
+	StoreHits        int64 // write-evict: store found the line (and evicted it)
+	MSHRMerges       int64
+	MSHRStalls       int64 // cycles the head request stalled for an MSHR
+	Evictions        int64
+	Writebacks       int64
+	ReplicatedMisses int64 // load misses with the line resident in a peer cache
+	Accesses         int64 // array accesses (loads + stores), for port utilization
+	BusyCycles       int64 // cycles with >=1 array access
+	Prefetches       int64 // sequential prefetches issued
+}
+
+// MissRate returns load misses / loads (0 when idle).
+func (s *Stats) MissRate() float64 {
+	if s.Loads == 0 {
+		return 0
+	}
+	return float64(s.LoadMisses) / float64(s.Loads)
+}
+
+// Ctrl is a cycle-driven cache controller with four bounded ports:
+//
+//	In      requests from the upper level (core or NoC#1)
+//	Out     replies to the upper level
+//	MissOut requests to the lower level (NoC#2 / L2 / DRAM)
+//	FillIn  replies from the lower level
+//
+// The owning node moves packets between these queues and the network; Ctrl
+// itself is topology-agnostic and is reused for baseline L1s, DC-L1 caches,
+// and L2 slices.
+type Ctrl struct {
+	P       Params
+	ID      int // global cache id for the replication tracker
+	Arr     *Array
+	In      *sim.Queue[*mem.Access]
+	Out     *sim.Queue[*mem.Access]
+	MissOut *sim.Queue[*mem.Access]
+	FillIn  *sim.Queue[*mem.Access]
+	Stat    Stats
+
+	tracker Tracker
+	pipe    *sim.DelayQueue[*mem.Access] // hit replies / acks in flight
+	mshr    map[uint64]*mshrEntry
+}
+
+type mshrEntry struct {
+	waiters []*mem.Access
+}
+
+// New builds a controller. tracker may be nil (no replication measurement).
+func New(p Params, id int, tracker Tracker) *Ctrl {
+	p = p.withDefaults()
+	if tracker == nil {
+		tracker = NopTracker{}
+	}
+	return &Ctrl{
+		P:       p,
+		ID:      id,
+		Arr:     NewArray(p.Sets, p.Ways),
+		In:      sim.NewQueue[*mem.Access](p.InCap),
+		Out:     sim.NewQueue[*mem.Access](p.OutCap),
+		MissOut: sim.NewQueue[*mem.Access](p.MissCap),
+		FillIn:  sim.NewQueue[*mem.Access](p.FillCap),
+		tracker: tracker,
+		pipe:    sim.NewDelayQueue[*mem.Access](),
+		mshr:    make(map[uint64]*mshrEntry),
+	}
+}
+
+// MSHRInUse returns the number of allocated MSHR entries (for tests).
+func (c *Ctrl) MSHRInUse() int { return len(c.mshr) }
+
+// Tick advances the controller one cycle of its clock domain.
+func (c *Ctrl) Tick(now sim.Cycle) {
+	c.drainPipe(now)
+	c.processFills(now)
+	c.processRequests(now)
+}
+
+// drainPipe moves matured replies into Out, respecting backpressure.
+func (c *Ctrl) drainPipe(now sim.Cycle) {
+	for !c.Out.Full() {
+		a, ok := c.pipe.PopReady(now)
+		if !ok {
+			return
+		}
+		c.Out.Push(a)
+	}
+}
+
+// processFills consumes replies from the lower level: installs fetched lines,
+// wakes MSHR waiters, and forwards store ACKs upward.
+func (c *Ctrl) processFills(now sim.Cycle) {
+	for i := 0; i < c.P.Ports; i++ {
+		a, ok := c.FillIn.Peek()
+		if !ok {
+			return
+		}
+		switch a.Kind {
+		case mem.Store, mem.Atomic:
+			// Write ACK from below: forward to the upper level.
+			if c.Out.Full() {
+				return
+			}
+			c.FillIn.Pop()
+			c.Out.Push(a)
+		case mem.Load, mem.NonL1:
+			e, pending := c.mshr[a.Line]
+			if !pending {
+				// A fill for a line with no waiters (e.g. the entry was
+				// satisfied by a racing path). Install and drop.
+				if !c.canInstall() {
+					return
+				}
+				c.install(a.Line, false)
+				c.FillIn.Pop()
+				continue
+			}
+			// Need room to queue every waiter's reply and possibly a
+			// writeback; check writeback space first.
+			if !c.canInstall() {
+				return
+			}
+			c.FillIn.Pop()
+			dirty := false
+			for _, w := range e.waiters {
+				if w.Kind == mem.Store || w.Kind == mem.Atomic {
+					dirty = true
+				}
+			}
+			c.install(a.Line, dirty)
+			for _, w := range e.waiters {
+				if w.Core == PrefetchCore && w.Node == c.ID {
+					continue // own prefetch: fill installs silently
+				}
+				c.pipe.Push(w.Reply(), now+1)
+			}
+			delete(c.mshr, a.Line)
+		default:
+			// Non-L1 / atomic replies never reach a Ctrl (bypassed by nodes).
+			panic(fmt.Sprintf("cache %s: unexpected fill kind %v", c.P.Name, a.Kind))
+		}
+	}
+}
+
+// canInstall reports whether an install could proceed even if it produces a
+// dirty writeback (write-back policy needs MissOut space).
+func (c *Ctrl) canInstall() bool {
+	if c.P.Policy != WriteBack {
+		return true
+	}
+	return !c.MissOut.Full()
+}
+
+// install puts a line into the array, emitting an eviction/writeback.
+func (c *Ctrl) install(line uint64, dirty bool) {
+	if c.P.Perfect {
+		return
+	}
+	victim, victimDirty, evicted := c.Arr.Install(line, dirty)
+	c.tracker.OnInstall(c.ID, line)
+	if evicted {
+		c.Stat.Evictions++
+		c.tracker.OnEvict(c.ID, victim)
+		if victimDirty && c.P.Policy == WriteBack {
+			c.Stat.Writebacks++
+			wb := &mem.Access{Kind: mem.Store, Line: victim, ReqBytes: mem.LineBytes, Core: -1}
+			c.MissOut.Push(wb) // canInstall guaranteed space
+		}
+	}
+}
+
+// processRequests serves up to Ports requests from In.
+func (c *Ctrl) processRequests(now sim.Cycle) {
+	served := 0
+	for served < c.P.Ports {
+		a, ok := c.In.Peek()
+		if !ok {
+			break
+		}
+		var advanced bool
+		switch a.Kind {
+		case mem.Load, mem.NonL1:
+			// NonL1 traffic is cacheable at the L2 (instruction/texture/
+			// constant lines); L1/DC-L1 nodes bypass it before it reaches a
+			// Ctrl, so seeing it here means "treat as a load".
+			advanced = c.serveLoad(a, now)
+		case mem.Store, mem.Atomic:
+			// Atomics are resolved at the L2/MC (Section III); at that level
+			// they behave as read-modify-writes, i.e. stores.
+			advanced = c.serveStore(a, now)
+		default:
+			panic(fmt.Sprintf("cache %s: unknown access kind %v", c.P.Name, a.Kind))
+		}
+		if !advanced {
+			break // head-of-line stall; retry next cycle
+		}
+		c.In.Pop()
+		served++
+	}
+	if served > 0 {
+		c.Stat.BusyCycles++
+		c.Stat.Accesses += int64(served)
+	}
+}
+
+func (c *Ctrl) serveLoad(a *mem.Access, now sim.Cycle) bool {
+	if c.P.Perfect || c.Arr.Lookup(a.Line, true) {
+		c.Stat.Loads++
+		c.Stat.LoadHits++
+		c.pipe.Push(a.Reply(), now+c.P.HitLatency)
+		return true
+	}
+	// Miss path: merge into an existing MSHR or allocate a new one.
+	if e, ok := c.mshr[a.Line]; ok {
+		if len(e.waiters) >= c.P.MaxMerge {
+			c.Stat.MSHRStalls++
+			return false
+		}
+		e.waiters = append(e.waiters, a)
+		c.Stat.Loads++
+		c.Stat.LoadMisses++
+		c.Stat.MSHRMerges++
+		c.noteReplication(a)
+		return true
+	}
+	if len(c.mshr) >= c.P.MSHRs || c.MissOut.Full() {
+		c.Stat.MSHRStalls++
+		return false
+	}
+	c.mshr[a.Line] = &mshrEntry{waiters: []*mem.Access{a}}
+	fetch := *a
+	fetch.IsReply = false
+	c.MissOut.Push(&fetch)
+	c.Stat.Loads++
+	c.Stat.LoadMisses++
+	c.noteReplication(a)
+	c.prefetchAfter(a)
+	return true
+}
+
+// PrefetchCore marks accesses generated by the prefetcher: their fills
+// install normally but no reply is sent upward.
+const PrefetchCore = -2
+
+// prefetchAfter issues best-effort sequential prefetches following a demand
+// miss. Prefetches never stall demand traffic: they are dropped when MSHRs
+// or the miss queue are full.
+func (c *Ctrl) prefetchAfter(a *mem.Access) {
+	stride := c.P.PrefetchStride
+	if stride <= 0 {
+		stride = 1
+	}
+	for i := 1; i <= c.P.PrefetchNext; i++ {
+		line := a.Line + uint64(i*stride)
+		if c.Arr.Contains(line) {
+			continue
+		}
+		if _, pending := c.mshr[line]; pending {
+			continue
+		}
+		if len(c.mshr) >= c.P.MSHRs || c.MissOut.Full() {
+			return
+		}
+		pf := &mem.Access{
+			Kind:     mem.Load,
+			Line:     line,
+			ReqBytes: mem.LineBytes,
+			Core:     PrefetchCore,
+			Wave:     -1,
+			Node:     c.ID,
+		}
+		c.mshr[line] = &mshrEntry{waiters: []*mem.Access{pf}}
+		fetch := *pf
+		c.MissOut.Push(&fetch)
+		c.Stat.Prefetches++
+	}
+}
+
+func (c *Ctrl) noteReplication(a *mem.Access) {
+	if c.tracker.PresentElsewhere(c.ID, a.Line) {
+		c.Stat.ReplicatedMisses++
+	}
+}
+
+func (c *Ctrl) serveStore(a *mem.Access, now sim.Cycle) bool {
+	switch c.P.Policy {
+	case WriteEvict:
+		// Write hit evicts the line; hit or miss, the write is forwarded to
+		// the next level and the ACK will come back through FillIn.
+		if c.MissOut.Full() {
+			return false
+		}
+		c.Stat.Stores++
+		if present, _ := c.Arr.Invalidate(a.Line); present {
+			c.Stat.StoreHits++
+			c.Stat.Evictions++
+			c.tracker.OnEvict(c.ID, a.Line)
+		}
+		fwd := *a
+		c.MissOut.Push(&fwd)
+		return true
+	case WriteBack:
+		if c.P.Perfect || c.Arr.MarkDirty(a.Line) {
+			c.Stat.Stores++
+			c.Stat.StoreHits++
+			c.pipe.Push(a.Reply(), now+c.P.HitLatency)
+			return true
+		}
+		// Write-allocate: fetch the line through the MSHR; the ACK is sent
+		// when the fill arrives.
+		if e, ok := c.mshr[a.Line]; ok {
+			if len(e.waiters) >= c.P.MaxMerge {
+				c.Stat.MSHRStalls++
+				return false
+			}
+			e.waiters = append(e.waiters, a)
+			c.Stat.Stores++
+			c.Stat.MSHRMerges++
+			return true
+		}
+		if len(c.mshr) >= c.P.MSHRs || c.MissOut.Full() {
+			c.Stat.MSHRStalls++
+			return false
+		}
+		c.mshr[a.Line] = &mshrEntry{waiters: []*mem.Access{a}}
+		fetch := *a
+		fetch.Kind = mem.Load
+		fetch.IsReply = false
+		c.MissOut.Push(&fetch)
+		c.Stat.Stores++
+		return true
+	default:
+		panic("cache: unknown policy")
+	}
+}

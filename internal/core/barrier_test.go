@@ -1,0 +1,86 @@
+package core
+
+import "testing"
+
+func TestBarrierSynchronizesCTA(t *testing.T) {
+	// Two waves in one CTA: wave 0 reaches the barrier quickly, wave 1 has a
+	// long compute first. Wave 0's post-barrier compute must not issue until
+	// wave 1 arrives.
+	c := New(Params{ID: 0, WavesPerCTA: 2})
+	c.AddWave(&listProgram{ops: []Op{
+		{Kind: OpBarrier},
+		{Kind: OpCompute, Latency: 1},
+	}})
+	c.AddWave(&listProgram{ops: []Op{
+		{Kind: OpCompute, Latency: 30},
+		{Kind: OpBarrier},
+		{Kind: OpCompute, Latency: 1},
+	}})
+	tick(c, 0, 10)
+	// Wave 0 is parked; only wave 1's long compute has issued.
+	if c.Stat.ComputeIssued != 1 {
+		t.Fatalf("compute issued early: %d", c.Stat.ComputeIssued)
+	}
+	tick(c, 10, 40)
+	if c.Stat.ComputeIssued != 3 {
+		t.Fatalf("post-barrier computes = %d, want all 3", c.Stat.ComputeIssued)
+	}
+	if !c.Done() {
+		t.Fatal("programs must complete")
+	}
+}
+
+func TestBarrierSeparateCTAsIndependent(t *testing.T) {
+	// Waves 0,1 form CTA 0; waves 2,3 form CTA 1. CTA 1's barrier must not
+	// wait for CTA 0.
+	c := New(Params{ID: 0, WavesPerCTA: 2})
+	// CTA 0: wave 0 stalls forever on a load (no reply ever comes).
+	c.AddWave(&listProgram{ops: []Op{{Kind: OpLoad, Lines: []uint64{1}, Blocking: true}, {Kind: OpBarrier}}})
+	c.AddWave(&listProgram{ops: []Op{{Kind: OpBarrier}, {Kind: OpCompute, Latency: 1}}})
+	// CTA 1: both waves barrier then compute.
+	for i := 0; i < 2; i++ {
+		c.AddWave(&listProgram{ops: []Op{{Kind: OpBarrier}, {Kind: OpCompute, Latency: 1}}})
+	}
+	tick(c, 0, 40)
+	// CTA 1's two computes complete; CTA 0's compute is stuck at its barrier.
+	if c.Stat.ComputeIssued != 2 {
+		t.Fatalf("CTA1 computes = %d, want 2 (CTA0 must stay blocked)", c.Stat.ComputeIssued)
+	}
+}
+
+func TestBarrierFinishedWaveDoesNotHoldCTA(t *testing.T) {
+	c := New(Params{ID: 0, WavesPerCTA: 2})
+	// Wave 0 ends immediately; wave 1 barriers then computes.
+	c.AddWave(&listProgram{ops: nil})
+	c.AddWave(&listProgram{ops: []Op{{Kind: OpBarrier}, {Kind: OpCompute, Latency: 1}}})
+	tick(c, 0, 20)
+	if c.Stat.ComputeIssued != 1 {
+		t.Fatal("finished wave must not hold the barrier hostage")
+	}
+	if !c.Done() {
+		t.Fatal("core must finish")
+	}
+}
+
+func TestBarrierWholeCoreDefault(t *testing.T) {
+	// WavesPerCTA=0: all waves are one CTA.
+	c := New(Params{ID: 0})
+	for i := 0; i < 3; i++ {
+		lat := int64(1 + i*10)
+		c.AddWave(&listProgram{ops: []Op{
+			{Kind: OpCompute, Latency: lat},
+			{Kind: OpBarrier},
+			{Kind: OpCompute, Latency: 1},
+		}})
+	}
+	tick(c, 0, 15)
+	// The slowest wave (latency 21) has not barriered yet: no second-phase
+	// computes may have issued (3 first-phase so far).
+	if c.Stat.ComputeIssued > 3 {
+		t.Fatalf("second phase leaked through the barrier: %d", c.Stat.ComputeIssued)
+	}
+	tick(c, 15, 30)
+	if c.Stat.ComputeIssued != 6 {
+		t.Fatalf("computes = %d, want 6", c.Stat.ComputeIssued)
+	}
+}

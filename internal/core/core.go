@@ -1,0 +1,447 @@
+// Package core models a GPU compute unit (CU): a set of wavefronts issuing
+// compute and memory instructions, a coalescer output (the workload layer
+// already merges the 32 lanes of a wavefront instruction into line-granular
+// transactions), a load/store queue, and scoreboard-style blocking on
+// outstanding memory operations. The model captures what the paper's designs
+// react to — memory intensity, latency tolerance via multithreading, and
+// issue bandwidth — without executing a real ISA.
+//
+// A "lite core" (Section III) is the same component: in decoupled designs the
+// core's memory queues connect to NoC#1 instead of a private L1 node.
+package core
+
+import (
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/sim"
+	"dcl1sim/internal/stats"
+)
+
+// OpKind classifies one wavefront instruction.
+type OpKind uint8
+
+// Instruction kinds. OpBarrier synchronizes the wavefronts of one CTA
+// (workgroup); OpEnd terminates a wavefront's program.
+const (
+	OpCompute OpKind = iota
+	OpLoad
+	OpStore
+	OpNonL1
+	OpAtomic
+	OpBarrier
+	OpEnd
+)
+
+// Op is one wavefront-wide instruction.
+type Op struct {
+	Kind OpKind
+	// Lines holds the coalesced line-granular transactions of a memory op
+	// (1 fully-coalesced .. 32 fully-divergent).
+	Lines []uint64
+	// Bytes is the number of bytes the wavefront needs from each line
+	// (reply payload on NoC#1 under DC-L1 designs).
+	Bytes int
+	// Latency is the pipeline latency of a compute op before the wavefront
+	// may issue again.
+	Latency sim.Cycle
+	// Blocking marks a memory op whose value is consumed immediately
+	// (load-use): the wavefront stalls until all its outstanding
+	// transactions complete.
+	Blocking bool
+}
+
+// Program generates the instruction stream of one wavefront.
+type Program interface {
+	Next() Op
+}
+
+// ProgramFunc adapts a function to Program.
+type ProgramFunc func() Op
+
+// Next implements Program.
+func (f ProgramFunc) Next() Op { return f() }
+
+// Params configures a core.
+type Params struct {
+	ID             int
+	MaxOutstanding int // per-wavefront outstanding transactions
+	IssueWidth     int // instructions issued per cycle
+	LSQCap         int // coalesced transactions buffered before injection
+	LSUPerCycle    int // transactions injected into Out per cycle
+	OutCap, InCap  int
+	// WavesPerCTA groups wavefronts into CTAs for OpBarrier synchronization
+	// (consecutive wavefront ids form a CTA). 0 treats all of the core's
+	// wavefronts as one CTA.
+	WavesPerCTA int
+	// GTO switches issue from round-robin to greedy-then-oldest: keep
+	// issuing from the same wavefront until it stalls, then fall back to the
+	// oldest ready one. GTO improves intra-wavefront locality; RR (the
+	// default, as in the paper's baseline) spreads it.
+	GTO bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.MaxOutstanding <= 0 {
+		p.MaxOutstanding = 8
+	}
+	if p.IssueWidth <= 0 {
+		p.IssueWidth = 1
+	}
+	if p.LSQCap <= 0 {
+		p.LSQCap = 32
+	}
+	if p.LSUPerCycle <= 0 {
+		p.LSUPerCycle = 1
+	}
+	if p.OutCap <= 0 {
+		p.OutCap = 8
+	}
+	if p.InCap <= 0 {
+		p.InCap = 8
+	}
+	return p
+}
+
+// Stats aggregates core activity.
+type Stats struct {
+	Cycles        int64
+	Issued        int64 // wavefront instructions issued
+	ComputeIssued int64
+	MemIssued     int64
+	Transactions  int64 // coalesced memory transactions created
+	StallNoReady  int64 // cycles with no issuable wavefront
+	RTTSum        int64 // sum of load round-trip times (core cycles)
+	RTTCount      int64
+	// RTT is the full load round-trip latency distribution.
+	RTT stats.Histogram
+}
+
+// IPC returns issued wavefront-instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Issued) / float64(s.Cycles)
+}
+
+// MeanRTT returns the average load round-trip time in core cycles.
+func (s *Stats) MeanRTT() float64 {
+	if s.RTTCount == 0 {
+		return 0
+	}
+	return float64(s.RTTSum) / float64(s.RTTCount)
+}
+
+type wave struct {
+	id          int
+	prog        Program
+	readyAt     sim.Cycle
+	outstanding int
+	blocked     bool
+	// fence marks a load-use block: the wavefront waits until every
+	// outstanding transaction returns. Without fence, a wave blocked at
+	// MaxOutstanding resumes as soon as it drops below the cap.
+	fence bool
+	// atBarrier marks a wavefront waiting at a CTA barrier.
+	atBarrier bool
+	done      bool
+
+	// In-flight memory instruction being expanded into the LSQ: remaining
+	// lines plus the op metadata. A wavefront with an active pending op
+	// cannot issue its next instruction (its LSU slot is occupied).
+	pendActive   bool
+	pendLines    []uint64
+	pendKind     mem.Kind
+	pendBytes    int
+	pendBlocking bool
+}
+
+// Core is one compute unit.
+type Core struct {
+	P    Params
+	Out  *sim.Queue[*mem.Access] // memory requests toward the L1 / NoC#1
+	In   *sim.Queue[*mem.Access] // replies
+	Stat Stats
+
+	waves  []*wave
+	rr     int
+	greedy int // last-issued wavefront (GTO policy)
+	lsq    *sim.Queue[*mem.Access]
+	nextID uint64
+
+	// sleepUntil is a scheduling hint: no wavefront can become issuable
+	// before this cycle unless an unblocking event (reply retirement, LSQ
+	// drain) clears it. Avoids scanning all wavefronts on idle cycles.
+	sleepUntil sim.Cycle
+	// pendCount tracks wavefronts with an active pending memory op so the
+	// expansion pass can skip the scan entirely when none exist.
+	pendCount int
+}
+
+// New builds a core with no wavefronts; add them with AddWave.
+func New(p Params) *Core {
+	p = p.withDefaults()
+	return &Core{
+		P:   p,
+		Out: sim.NewQueue[*mem.Access](p.OutCap),
+		In:  sim.NewQueue[*mem.Access](p.InCap),
+		lsq: sim.NewQueue[*mem.Access](p.LSQCap),
+	}
+}
+
+// AddWave attaches a wavefront executing prog.
+func (c *Core) AddWave(prog Program) {
+	c.waves = append(c.waves, &wave{id: len(c.waves), prog: prog})
+}
+
+// Waves returns the number of wavefronts.
+func (c *Core) Waves() int { return len(c.waves) }
+
+// Done reports whether every wavefront has finished its program.
+func (c *Core) Done() bool {
+	for _, w := range c.waves {
+		if !w.done {
+			return false
+		}
+	}
+	return true
+}
+
+// OutstandingTotal returns in-flight transactions across wavefronts (tests).
+func (c *Core) OutstandingTotal() int {
+	n := 0
+	for _, w := range c.waves {
+		n += w.outstanding
+	}
+	return n
+}
+
+// Tick advances one core-clock cycle.
+func (c *Core) Tick(now sim.Cycle) {
+	c.Stat.Cycles++
+	c.retire(now)
+	c.expandPending(now)
+	c.injectLSQ()
+	c.issue(now)
+}
+
+// expandPending moves transactions of already-issued memory instructions
+// into the LSQ as space allows.
+func (c *Core) expandPending(now sim.Cycle) {
+	if c.pendCount == 0 {
+		return
+	}
+	for _, w := range c.waves {
+		if !w.pendActive {
+			continue
+		}
+		for len(w.pendLines) > 0 && !c.lsq.Full() {
+			line := w.pendLines[0]
+			w.pendLines = w.pendLines[1:]
+			a := &mem.Access{
+				ID:       c.idNext(),
+				Kind:     w.pendKind,
+				Line:     line,
+				ReqBytes: w.pendBytes,
+				Core:     c.P.ID,
+				Wave:     w.id,
+				IssuedAt: now,
+			}
+			c.lsq.Push(a)
+			w.outstanding++
+			c.Stat.Transactions++
+		}
+		if len(w.pendLines) == 0 {
+			w.pendActive = false
+			c.pendCount--
+			switch {
+			case w.pendBlocking && w.outstanding > 0:
+				w.blocked = true
+				w.fence = true
+			case w.outstanding >= c.P.MaxOutstanding:
+				w.blocked = true
+			default:
+				c.sleepUntil = 0
+			}
+			w.pendBlocking = false
+		}
+	}
+}
+
+// retire consumes replies, crediting the owning wavefront.
+func (c *Core) retire(now sim.Cycle) {
+	for {
+		a, ok := c.In.Pop()
+		if !ok {
+			return
+		}
+		if a.Wave >= 0 && a.Wave < len(c.waves) {
+			w := c.waves[a.Wave]
+			if w.outstanding > 0 {
+				w.outstanding--
+			}
+			if w.blocked {
+				if w.fence {
+					if w.outstanding == 0 {
+						w.blocked = false
+						w.fence = false
+						c.sleepUntil = 0
+					}
+				} else if w.outstanding < c.P.MaxOutstanding {
+					w.blocked = false
+					c.sleepUntil = 0
+				}
+			}
+		}
+		if a.Kind == mem.Load {
+			rtt := now - a.IssuedAt
+			c.Stat.RTTSum += rtt
+			c.Stat.RTTCount++
+			c.Stat.RTT.Add(rtt)
+		}
+	}
+}
+
+// injectLSQ moves buffered transactions into Out at LSU bandwidth.
+func (c *Core) injectLSQ() {
+	for i := 0; i < c.P.LSUPerCycle; i++ {
+		a, ok := c.lsq.Peek()
+		if !ok || c.Out.Full() {
+			return
+		}
+		c.lsq.Pop()
+		c.Out.Push(a)
+	}
+}
+
+// issue picks ready wavefronts round-robin and issues their next ops.
+func (c *Core) issue(now sim.Cycle) {
+	if len(c.waves) == 0 {
+		return
+	}
+	if now < c.sleepUntil {
+		c.Stat.StallNoReady++
+		return
+	}
+	issued := 0
+	scanned := 0
+	limit := len(c.waves)
+	if c.P.GTO {
+		limit++ // slot 0 retries the greedy wave, then oldest-first
+	}
+	for issued < c.P.IssueWidth && scanned < limit {
+		var w *wave
+		switch {
+		case c.P.GTO && scanned == 0:
+			w = c.waves[c.greedy] // greedy: stick with the last issuer
+		case c.P.GTO:
+			w = c.waves[scanned-1] // then oldest (lowest id) first
+		default:
+			w = c.waves[(c.rr+scanned)%len(c.waves)]
+		}
+		scanned++
+		if w.done || w.blocked || w.pendActive || w.atBarrier || w.readyAt > now {
+			continue
+		}
+		c.greedy = w.id
+		op := w.prog.Next()
+		switch op.Kind {
+		case OpEnd:
+			w.done = true
+			c.releaseBarrier(w) // a finished wave must not hold its CTA hostage
+			continue
+		case OpBarrier:
+			w.atBarrier = true
+			c.Stat.Issued++
+			c.releaseBarrier(w)
+			issued++
+		case OpCompute:
+			lat := op.Latency
+			if lat < 1 {
+				lat = 1
+			}
+			w.readyAt = now + lat
+			c.Stat.Issued++
+			c.Stat.ComputeIssued++
+			issued++
+		case OpLoad, OpStore, OpNonL1, OpAtomic:
+			// Hand the coalesced transactions to the LSU; they drain into
+			// the LSQ over the following cycles (expandPending).
+			w.pendActive = true
+			c.pendCount++
+			w.pendLines = append(w.pendLines[:0], op.Lines...)
+			w.pendKind = kindOf(op.Kind)
+			w.pendBytes = op.Bytes
+			w.pendBlocking = op.Blocking
+			w.readyAt = now + 1
+			c.Stat.Issued++
+			c.Stat.MemIssued++
+			issued++
+		}
+	}
+	c.rr = (c.rr + 1) % len(c.waves)
+	if issued == 0 {
+		c.Stat.StallNoReady++
+		// Nothing issuable now: sleep until the earliest compute-latency
+		// wake-up; unblocking events reset the hint.
+		next := sim.Cycle(1) << 60
+		for _, w := range c.waves {
+			if w.done || w.blocked || w.pendActive || w.atBarrier {
+				continue
+			}
+			if w.readyAt < next {
+				next = w.readyAt
+			}
+		}
+		c.sleepUntil = next
+	}
+}
+
+// ctaRange returns the wavefront-id span [lo, hi) of w's CTA.
+func (c *Core) ctaRange(w *wave) (lo, hi int) {
+	size := c.P.WavesPerCTA
+	if size <= 0 || size > len(c.waves) {
+		return 0, len(c.waves)
+	}
+	lo = w.id / size * size
+	hi = lo + size
+	if hi > len(c.waves) {
+		hi = len(c.waves)
+	}
+	return lo, hi
+}
+
+// releaseBarrier opens w's CTA barrier once every non-finished wavefront of
+// the CTA has arrived.
+func (c *Core) releaseBarrier(w *wave) {
+	lo, hi := c.ctaRange(w)
+	for i := lo; i < hi; i++ {
+		ww := c.waves[i]
+		if !ww.done && !ww.atBarrier {
+			return // someone is still running
+		}
+	}
+	for i := lo; i < hi; i++ {
+		c.waves[i].atBarrier = false
+	}
+	c.sleepUntil = 0
+}
+
+func (c *Core) idNext() uint64 {
+	c.nextID++
+	return uint64(c.P.ID)<<40 | c.nextID
+}
+
+func kindOf(k OpKind) mem.Kind {
+	switch k {
+	case OpLoad:
+		return mem.Load
+	case OpStore:
+		return mem.Store
+	case OpNonL1:
+		return mem.NonL1
+	case OpAtomic:
+		return mem.Atomic
+	default:
+		panic("core: not a memory op")
+	}
+}

@@ -1,0 +1,78 @@
+package dcl1
+
+import (
+	"testing"
+
+	"dcl1sim/internal/cache"
+	"dcl1sim/internal/mem"
+)
+
+func TestPumpPerCycleLimits(t *testing.T) {
+	n := New(Params{
+		ID: 0, PumpPerCycle: 1, QueueCap: 8,
+		Cache: cache.Params{Sets: 8, Ways: 2, HitLatency: 1, Policy: cache.WriteEvict, InCap: 8},
+	}, nil)
+	for i := 0; i < 6; i++ {
+		n.Q1.Push(&mem.Access{Kind: mem.Load, Line: uint64(i)})
+	}
+	n.Tick(0)
+	// One pump per cycle: exactly one access moved from Q1.
+	if n.Q1.Len() != 5 {
+		t.Fatalf("Q1 = %d after one tick with PumpPerCycle=1", n.Q1.Len())
+	}
+	n2 := New(Params{
+		ID: 0, PumpPerCycle: 4, QueueCap: 8,
+		Cache: cache.Params{Sets: 8, Ways: 2, HitLatency: 1, Policy: cache.WriteEvict, InCap: 8},
+	}, nil)
+	for i := 0; i < 6; i++ {
+		n2.Q1.Push(&mem.Access{Kind: mem.Load, Line: uint64(i)})
+	}
+	n2.Tick(0)
+	if n2.Q1.Len() != 2 {
+		t.Fatalf("Q1 = %d after one tick with PumpPerCycle=4", n2.Q1.Len())
+	}
+}
+
+func TestBypassYieldsToFullQ3(t *testing.T) {
+	// A non-L1 request at the head of Q1 must not be dropped when Q3 is
+	// full; it waits, and cache-bound traffic behind it also waits (FIFO Q1).
+	n := New(Params{
+		ID: 0, QueueCap: 2,
+		Cache: cache.Params{Sets: 4, Ways: 1, HitLatency: 1, Policy: cache.WriteEvict},
+	}, nil)
+	// Fill Q3.
+	n.Q3.Push(&mem.Access{Kind: mem.Load, Line: 100})
+	n.Q3.Push(&mem.Access{Kind: mem.Load, Line: 101})
+	n.Q1.Push(&mem.Access{Kind: mem.NonL1, Line: 1})
+	n.Tick(0)
+	if n.Q1.Len() != 1 {
+		t.Fatal("bypass request must wait for Q3 space, not vanish")
+	}
+	// Drain Q3; the bypass proceeds.
+	n.Q3.Pop()
+	n.Q3.Pop()
+	n.Tick(1)
+	if n.Q1.Len() != 0 || n.Q3.Len() != 1 {
+		t.Fatalf("bypass did not proceed: Q1=%d Q3=%d", n.Q1.Len(), n.Q3.Len())
+	}
+}
+
+func TestNodeStatsCountBypasses(t *testing.T) {
+	n := New(Params{ID: 0, Cache: cache.Params{Sets: 4, Ways: 1, HitLatency: 1, Policy: cache.WriteEvict}}, nil)
+	n.Q1.Push(&mem.Access{Kind: mem.NonL1, Line: 1})
+	n.Q1.Push(&mem.Access{Kind: mem.Atomic, Line: 2})
+	n.Q1.Push(&mem.Access{Kind: mem.Load, Line: 3})
+	for c := int64(0); c < 5; c++ {
+		n.Tick(c)
+	}
+	if n.Stat.BypassRequests != 2 {
+		t.Fatalf("BypassRequests = %d, want 2", n.Stat.BypassRequests)
+	}
+}
+
+func TestDefaultCacheName(t *testing.T) {
+	n := New(Params{ID: 7, Cache: cache.Params{Sets: 2, Ways: 1, HitLatency: 1}}, nil)
+	if n.Ctrl.P.Name != "dcl1-7" {
+		t.Fatalf("default cache name = %q", n.Ctrl.P.Name)
+	}
+}

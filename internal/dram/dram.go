@@ -1,0 +1,247 @@
+// Package dram models the GDDR5 memory system: per-channel controllers with
+// FR-FCFS (first-ready, first-come-first-served) scheduling over banked DRAM
+// with row-buffer state, matching the paper's 16-channel Hynix-GDDR5-class
+// configuration (Table II). Timing is expressed in memory-clock cycles
+// (924 MHz); the gpu package places channels in the memory clock domain.
+package dram
+
+import (
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/sim"
+)
+
+// Timing captures the DRAM timing parameters the model respects. Values are
+// GDDR5-class defaults in memory-clock cycles.
+type Timing struct {
+	TRCD   sim.Cycle // activate to read/write
+	TRP    sim.Cycle // precharge
+	TCL    sim.Cycle // read column access
+	TWL    sim.Cycle // write latency
+	TBurst sim.Cycle // data burst occupancy of the channel bus
+	TRAS   sim.Cycle // minimum row-open time
+	// Refresh: every TREFI cycles the whole channel stalls for TRFC and all
+	// rows close. Zero disables refresh (the default — the paper's relative
+	// results do not depend on it, but the knob is available for fidelity
+	// studies).
+	TREFI sim.Cycle
+	TRFC  sim.Cycle
+}
+
+// DefaultTiming returns GDDR5-like timings.
+func DefaultTiming() Timing {
+	return Timing{TRCD: 12, TRP: 12, TCL: 12, TWL: 4, TBurst: 4, TRAS: 28}
+}
+
+// Params configures one memory channel.
+type Params struct {
+	Name     string
+	Banks    int
+	Timing   Timing
+	QueueCap int
+	Map      mem.AddressMap
+	// FCFS disables the first-ready (row-hit-first) scheduling rule,
+	// degrading to pure in-order service (ablation benchmark).
+	FCFS bool
+}
+
+func (p Params) withDefaults() Params {
+	if p.Banks <= 0 {
+		p.Banks = 16
+	}
+	if p.QueueCap <= 0 {
+		p.QueueCap = 32
+	}
+	z := Timing{}
+	if p.Timing == z {
+		p.Timing = DefaultTiming()
+	}
+	if p.Map.RowLines <= 0 {
+		p.Map = mem.AddressMap{L2Slices: 32, Channels: 16, Banks: p.Banks, RowLines: 16}
+	}
+	return p
+}
+
+// Stats aggregates channel activity.
+type Stats struct {
+	Reads     int64
+	Writes    int64
+	RowHits   int64
+	RowMisses int64
+	BusyBurst int64 // cycles the data bus was occupied
+	Refreshes int64
+	Cycles    int64
+}
+
+// RowHitRate returns row-buffer hits over all accesses.
+func (s *Stats) RowHitRate() float64 {
+	t := s.RowHits + s.RowMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(t)
+}
+
+// BusUtilization returns the fraction of cycles the data bus was busy.
+func (s *Stats) BusUtilization() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.BusyBurst) / float64(s.Cycles)
+}
+
+type bank struct {
+	rowOpen  bool
+	row      uint64
+	readyAt  sim.Cycle // bank can accept a new column command
+	openedAt sim.Cycle // for tRAS
+}
+
+// Channel is one GDDR5 channel with an FR-FCFS request scheduler.
+//
+//	In   requests (loads fetch a line; stores are fire-and-ack writebacks)
+//	Out  read replies and write ACKs
+type Channel struct {
+	P    Params
+	In   *sim.Queue[*mem.Access]
+	Out  *sim.Queue[*mem.Access]
+	Stat Stats
+
+	banks       []bank
+	busBusy     sim.Cycle
+	inflight    *sim.DelayQueue[*mem.Access]
+	nextRefresh sim.Cycle
+}
+
+// New builds a channel.
+func New(p Params) *Channel {
+	p = p.withDefaults()
+	return &Channel{
+		P:        p,
+		In:       sim.NewQueue[*mem.Access](p.QueueCap),
+		Out:      sim.NewQueue[*mem.Access](p.QueueCap),
+		banks:    make([]bank, p.Banks),
+		inflight: sim.NewDelayQueue[*mem.Access](),
+	}
+}
+
+// Tick advances the channel one memory-clock cycle.
+func (c *Channel) Tick(now sim.Cycle) {
+	c.Stat.Cycles++
+	c.maybeRefresh(now)
+	// Complete finished accesses.
+	for !c.Out.Full() {
+		a, ok := c.inflight.PopReady(now)
+		if !ok {
+			break
+		}
+		c.Out.Push(a.Reply())
+	}
+	// FR-FCFS: issue at most one column command per cycle. Bank operations
+	// overlap freely; only the data bursts serialize on the shared bus, so a
+	// command whose burst would collide is simply scheduled later.
+	idx := c.pickRequest(now)
+	if idx < 0 {
+		return
+	}
+	a := c.In.RemoveAt(idx)
+	b := &c.banks[c.bankOf(a.Line)]
+	row := c.P.Map.Row(a.Line)
+	t := c.P.Timing
+	var dataAt sim.Cycle
+	if b.rowOpen && b.row == row {
+		c.Stat.RowHits++
+		dataAt = maxCycle(now, b.readyAt) + t.TCL
+	} else {
+		c.Stat.RowMisses++
+		start := maxCycle(now, b.readyAt)
+		if b.rowOpen {
+			// Respect tRAS before precharging, then tRP + tRCD.
+			pre := maxCycle(start, b.openedAt+t.TRAS)
+			start = pre + t.TRP
+		}
+		start += t.TRCD
+		b.rowOpen = true
+		b.row = row
+		b.openedAt = start
+		dataAt = start + t.TCL
+	}
+	// Serialize the burst on the channel data bus.
+	dataAt = maxCycle(dataAt, c.busBusy)
+	b.readyAt = dataAt + t.TBurst
+	c.busBusy = dataAt + t.TBurst
+	c.Stat.BusyBurst += int64(t.TBurst)
+	if a.Kind == mem.Store {
+		c.Stat.Writes++
+	} else {
+		c.Stat.Reads++
+	}
+	c.inflight.Push(a, dataAt+t.TBurst)
+}
+
+// pickRequest returns the queue index of the request to service: the oldest
+// row-hit if any bank has one ready (first-ready), otherwise the oldest
+// request (FCFS). Returns -1 when nothing can issue.
+func (c *Channel) pickRequest(now sim.Cycle) int {
+	if c.In.Empty() {
+		return -1
+	}
+	oldest := -1
+	for i := 0; i < c.In.Len(); i++ {
+		a := c.In.At(i)
+		b := &c.banks[c.bankOf(a.Line)]
+		if b.readyAt > now {
+			continue
+		}
+		if oldest < 0 {
+			oldest = i
+			if c.P.FCFS {
+				return oldest
+			}
+		}
+		if b.rowOpen && b.row == c.P.Map.Row(a.Line) {
+			return i // oldest row hit
+		}
+	}
+	return oldest
+}
+
+func (c *Channel) bankOf(line uint64) int {
+	return c.P.Map.Bank(line) % c.P.Banks
+}
+
+// maybeRefresh blocks the whole channel for TRFC every TREFI cycles and
+// closes all rows (auto-refresh precharges).
+func (c *Channel) maybeRefresh(now sim.Cycle) {
+	if c.P.Timing.TREFI <= 0 {
+		return
+	}
+	if c.nextRefresh == 0 {
+		c.nextRefresh = c.P.Timing.TREFI
+	}
+	if now < c.nextRefresh {
+		return
+	}
+	c.nextRefresh += c.P.Timing.TREFI
+	c.Stat.Refreshes++
+	end := now + c.P.Timing.TRFC
+	for i := range c.banks {
+		b := &c.banks[i]
+		b.rowOpen = false
+		if b.readyAt < end {
+			b.readyAt = end
+		}
+	}
+	if c.busBusy < end {
+		c.busBusy = end
+	}
+}
+
+// Pending returns queued plus in-flight requests (drain checks).
+func (c *Channel) Pending() int { return c.In.Len() + c.inflight.Len() }
+
+func maxCycle(a, b sim.Cycle) sim.Cycle {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package dram
+
+import (
+	"testing"
+
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/sim"
+)
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	c := newChan()
+	drive(c, 0, 10000)
+	if c.Stat.Refreshes != 0 {
+		t.Fatalf("refreshes = %d with TREFI unset", c.Stat.Refreshes)
+	}
+}
+
+func TestRefreshFiresPeriodically(t *testing.T) {
+	tm := DefaultTiming()
+	tm.TREFI = 1000
+	tm.TRFC = 100
+	c := New(Params{Name: "r", Timing: tm})
+	drive(c, 0, 10050)
+	// First refresh at 1000, then every 1000: ~10 in 10050 cycles.
+	if c.Stat.Refreshes < 9 || c.Stat.Refreshes > 11 {
+		t.Fatalf("refreshes = %d, want ~10", c.Stat.Refreshes)
+	}
+}
+
+func TestRefreshClosesRows(t *testing.T) {
+	tm := DefaultTiming()
+	tm.TREFI = 500
+	tm.TRFC = 50
+	c := New(Params{Name: "r", Timing: tm})
+	// Open row 0 well before the refresh.
+	c.In.Push(rd(0))
+	drive(c, 0, 200)
+	c.Out.Pop()
+	// Cross the refresh boundary, then access the same row: must be a miss
+	// (row was closed by auto-refresh).
+	drive(c, 200, 400)
+	c.In.Push(rd(1))
+	drive(c, 600, 300)
+	if c.Stat.RowHits != 0 {
+		t.Fatalf("row survived refresh: hits = %d", c.Stat.RowHits)
+	}
+	if c.Stat.RowMisses != 2 {
+		t.Fatalf("row misses = %d, want 2", c.Stat.RowMisses)
+	}
+}
+
+func TestRefreshDelaysService(t *testing.T) {
+	// A request arriving during refresh waits out TRFC.
+	tm := DefaultTiming()
+	tm.TREFI = 400
+	tm.TRFC = 200
+	c := New(Params{Name: "r", Timing: tm})
+	drive(c, 0, 401) // land exactly at the start of the refresh window
+	c.In.Push(rd(0))
+	var served sim.Cycle = -1
+	for cyc := sim.Cycle(401); cyc < 2000; cyc++ {
+		c.Tick(cyc)
+		if _, ok := c.Out.Pop(); ok {
+			served = cyc
+			break
+		}
+	}
+	if served < 0 {
+		t.Fatal("request never served")
+	}
+	if served < 600 {
+		t.Fatalf("served at %d, inside the refresh window", served)
+	}
+}
+
+func TestFCFSIgnoresRowHits(t *testing.T) {
+	// Same request pattern as the FR-FCFS test: under FCFS the service
+	// order must be strictly queue order.
+	c := New(Params{Name: "f", FCFS: true})
+	a1, b1, a2 := rd(0), rd(16*16), rd(1)
+	a1.ID, b1.ID, a2.ID = 1, 2, 3
+	c.In.Push(a1)
+	c.In.Push(b1)
+	c.In.Push(a2)
+	var order []uint64
+	for cyc := sim.Cycle(0); cyc < 800 && len(order) < 3; cyc++ {
+		c.Tick(cyc)
+		for {
+			r, ok := c.Out.Pop()
+			if !ok {
+				break
+			}
+			order = append(order, r.ID)
+		}
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("FCFS order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestFCFSSlowerThanFRFCFS(t *testing.T) {
+	mk := func(fcfs bool) sim.Cycle {
+		c := New(Params{Name: "x", FCFS: fcfs, QueueCap: 64})
+		// Interleave two rows in the same bank: FR-FCFS batches row hits.
+		for i := 0; i < 16; i++ {
+			line := uint64(i % 2 * 16 * 16) // rows 0 and 1, bank 0
+			c.In.Push(&mem.Access{Kind: mem.Load, Line: line + uint64(i/2), ReqBytes: 128})
+		}
+		done := 0
+		var cyc sim.Cycle
+		for ; done < 16 && cyc < 100000; cyc++ {
+			c.Tick(cyc)
+			for {
+				if _, ok := c.Out.Pop(); !ok {
+					break
+				}
+				done++
+			}
+		}
+		return cyc
+	}
+	fr := mk(false)
+	fc := mk(true)
+	if fc <= fr {
+		t.Fatalf("FCFS (%d) must be slower than FR-FCFS (%d) on row-thrashing mixes", fc, fr)
+	}
+}

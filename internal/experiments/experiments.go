@@ -1,0 +1,255 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: each experiment is a named runner that executes the required
+// (app × design) simulations — memoized, since many figures share runs — and
+// emits a Table whose rows mirror what the paper plots, alongside the
+// paper-reported values for comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"dcl1sim/internal/gpu"
+	"dcl1sim/internal/workload"
+)
+
+// Table is the output of one experiment.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []Row
+	Notes   []string // paper-vs-measured commentary
+}
+
+// Row is one labeled series of values.
+type Row struct {
+	Label string
+	Cells []float64
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(w, "%-22s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, "%14s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-22s", r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(w, "%14.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Markdown writes the table as a GitHub-flavored markdown table (used to
+// generate EXPERIMENTS.md entries).
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "| |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, " %s |", c)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|")
+	for range t.Columns {
+		fmt.Fprintf(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "| %s |", r.Label)
+		for _, v := range r.Cells {
+			fmt.Fprintf(w, " %.3f |", v)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Cell returns the value at (rowLabel, col), NaN when absent.
+func (t *Table) Cell(rowLabel, col string) float64 {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return math.NaN()
+	}
+	for _, r := range t.Rows {
+		if r.Label == rowLabel && ci < len(r.Cells) {
+			return r.Cells[ci]
+		}
+	}
+	return math.NaN()
+}
+
+// Experiment regenerates one paper artifact.
+type Experiment struct {
+	ID    string
+	Title string
+	Paper string // the headline result the paper reports for this artifact
+	Run   func(ctx *Context) *Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment, sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Context carries the machine configuration and memoizes simulation runs
+// (figures 14–17 share most of their runs).
+type Context struct {
+	Base gpu.Config
+	memo map[string]gpu.Results
+	// Progress, when non-nil, receives a line per fresh simulation.
+	Progress io.Writer
+}
+
+// NewContext builds a context around the 80-core default machine with the
+// experiment-suite measurement windows.
+func NewContext() *Context {
+	cfg := gpu.Config{WarmupCycles: 12000, MeasureCycles: 28000}
+	return &Context{Base: cfg.WithDefaults(), memo: map[string]gpu.Results{}}
+}
+
+// QuickContext shrinks windows and the machine for smoke tests.
+func QuickContext() *Context {
+	cfg := gpu.Config{
+		Cores: 16, L2Slices: 8, Channels: 4,
+		WarmupCycles: 1500, MeasureCycles: 4000,
+	}
+	return &Context{Base: cfg.WithDefaults(), memo: map[string]gpu.Results{}}
+}
+
+func (ctx *Context) run(cfg gpu.Config, d gpu.Design, app workload.Source) gpu.Results {
+	// The key encodes the full design value, not just its display name:
+	// study knobs like PrefetchNext or TrimReplies do not appear in Name().
+	// TrimReplies is a pointer, so it is normalized to its value first.
+	dd := d
+	trim := true
+	if dd.TrimReplies != nil {
+		trim = *dd.TrimReplies
+	}
+	dd.TrimReplies = nil
+	key := fmt.Sprintf("%+v|trim=%v|%s|%+v", dd, trim, app.Label(), cfg)
+	if r, ok := ctx.memo[key]; ok {
+		return r
+	}
+	r := gpu.Run(cfg, d, app)
+	if ctx.Progress != nil {
+		fmt.Fprintf(ctx.Progress, "  ran %-16s %-14s IPC=%.2f miss=%.2f\n", d.Name(), app.Label(), r.IPC, r.L1MissRate)
+	}
+	ctx.memo[key] = r
+	return r
+}
+
+// runDefault runs on the context's base machine.
+func (ctx *Context) runDefault(d gpu.Design, app workload.Source) gpu.Results {
+	return ctx.run(ctx.Base, d, app)
+}
+
+// scaledDesign adapts the canonical 80-core design shapes (40 DC-L1s, 10
+// clusters, CDXBar 10×4) to the context's core count so QuickContext works.
+func (ctx *Context) scaledDesign(d gpu.Design) gpu.Design {
+	scale := float64(ctx.Base.Cores) / 80.0
+	if d.DCL1s > 0 {
+		d.DCL1s = maxInt(1, int(float64(d.DCL1s)*scale))
+	}
+	if d.Clusters > 1 {
+		d.Clusters = maxInt(1, int(float64(d.Clusters)*scale))
+	}
+	if d.Kind == gpu.CDXBar {
+		if d.CDXGroups <= 0 {
+			d.CDXGroups = 10
+		}
+		if d.CDXMid <= 0 {
+			d.CDXMid = 4
+		}
+		d.CDXGroups = maxInt(1, int(float64(d.CDXGroups)*scale))
+		d.CDXMid = maxInt(1, int(float64(d.CDXMid)*scale))
+	}
+	return d
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Design shorthands (80-core shapes; scaledDesign adapts them).
+func base() gpu.Design     { return gpu.Design{Kind: gpu.Baseline} }
+func pr(y int) gpu.Design  { return gpu.Design{Kind: gpu.Private, DCL1s: y} }
+func sh40() gpu.Design     { return gpu.Design{Kind: gpu.Shared, DCL1s: 40} }
+func shc(z int) gpu.Design { return gpu.Design{Kind: gpu.Clustered, DCL1s: 40, Clusters: z} }
+func boost() gpu.Design {
+	return gpu.Design{Kind: gpu.Clustered, DCL1s: 40, Clusters: 10, Boost1: true}
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// appNames joins spec names for notes.
+func appNames(specs []workload.Spec) string {
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return strings.Join(names, ", ")
+}

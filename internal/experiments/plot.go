@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SCurve renders an ASCII S-curve of one table column — the presentation the
+// paper uses for Fig 15 and Fig 17 — with rows sorted ascending by value.
+// height rows of gutter; width follows the number of table rows.
+func SCurve(w io.Writer, t *Table, col string, height int) {
+	if height < 4 {
+		height = 8
+	}
+	var vals []float64
+	for _, r := range t.Rows {
+		v := t.Cell(r.Label, col)
+		if !math.IsNaN(v) {
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) == 0 {
+		fmt.Fprintf(w, "(no data for column %q)\n", col)
+		return
+	}
+	sort.Float64s(vals)
+	lo, hi := vals[0], vals[len(vals)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	fmt.Fprintf(w, "%s: %s (sorted ascending, %.2f .. %.2f)\n", t.ID, col, lo, hi)
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", len(vals)))
+	}
+	// Reference line at 1.0 if in range (the baseline in speedup plots).
+	refRow := -1
+	if lo <= 1 && 1 <= hi {
+		refRow = height - 1 - int((1-lo)/(hi-lo)*float64(height-1))
+	}
+	for x, v := range vals {
+		y := height - 1 - int((v-lo)/(hi-lo)*float64(height-1))
+		grid[y][x] = '*'
+	}
+	for y := 0; y < height; y++ {
+		mark := " "
+		if y == refRow {
+			mark = "-"
+			for x := range grid[y] {
+				if grid[y][x] == ' ' {
+					grid[y][x] = '-'
+				}
+			}
+		}
+		val := hi - (hi-lo)*float64(y)/float64(height-1)
+		fmt.Fprintf(w, "%7.2f |%s|%s\n", val, string(grid[y]), mark)
+	}
+	fmt.Fprintf(w, "        +%s+\n", strings.Repeat("-", len(vals)))
+}

@@ -1,0 +1,685 @@
+package gpu
+
+import (
+	"fmt"
+
+	"dcl1sim/internal/cache"
+	"dcl1sim/internal/core"
+	"dcl1sim/internal/dcl1"
+	"dcl1sim/internal/dram"
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/noc"
+	"dcl1sim/internal/power"
+	"dcl1sim/internal/sim"
+	"dcl1sim/internal/workload"
+)
+
+const pumpRate = 2
+
+// System is one fully wired machine executing one application.
+type System struct {
+	Cfg Config
+	D   Design
+	App workload.Source
+
+	Eng     *sim.Engine
+	CoreClk *sim.Clock
+	Noc1Clk *sim.Clock
+	Noc2Clk *sim.Clock
+	MemClk  *sim.Clock
+
+	Cores   []*core.Core
+	Nodes   []*dcl1.Node // private L1 nodes (Baseline/CDXBar) or DC-L1 nodes
+	L2      []*cache.Ctrl
+	l2in    []*sim.Queue[*mem.Access]
+	Drams   []*dram.Channel
+	Noc1Req []*noc.Crossbar
+	Noc1Rep []*noc.Crossbar
+	Noc2Req []*noc.Crossbar
+	Noc2Rep []*noc.Crossbar
+
+	// MeshReq/MeshRep are populated only by the MeshBase design.
+	MeshReq *noc.Mesh
+	MeshRep *noc.Mesh
+
+	Tracker *cache.Presence
+	Map     dcl1.Mapping
+	AMap    mem.AddressMap
+	trim    bool
+}
+
+// NewSystem builds the machine for design d running app.
+func NewSystem(cfg Config, d Design, app workload.Source) *System {
+	cfg = cfg.WithDefaults()
+	d = d.withDefaults(cfg)
+	validate(cfg, d)
+
+	s := &System{
+		Cfg:     cfg,
+		D:       d,
+		App:     app,
+		Eng:     sim.NewEngine(),
+		AMap:    cfg.AddressMap(),
+		Tracker: cache.NewPresence(),
+		trim:    *d.TrimReplies,
+	}
+
+	noc1MHz := cfg.NoCMHz
+	if d.Boost1 || d.CDXBoostS1 || d.CDXBoostAll || (d.Kind == Baseline && d.NoCBoost) {
+		noc1MHz *= 2
+	}
+	noc2MHz := cfg.NoCMHz
+	if d.CDXBoostAll || (d.Kind == Baseline && d.NoCBoost) {
+		noc2MHz *= 2
+	}
+
+	s.CoreClk = s.Eng.NewClock("core", cfg.CoreMHz)
+	s.Noc1Clk = s.Eng.NewClock("noc1", noc1MHz)
+	s.Noc2Clk = s.Eng.NewClock("noc2", noc2MHz)
+	s.MemClk = s.Eng.NewClock("mem", cfg.MemMHz)
+
+	s.buildCores()
+	s.buildNodes()
+	s.buildL2AndDram()
+
+	switch d.Kind {
+	case Baseline, CDXBar:
+		s.Map = dcl1.PrivateMap{Cores: cfg.Cores, NodeCount: cfg.Cores}
+		s.wireLocalL1()
+		if d.Kind == Baseline {
+			s.wireBaselineNoC()
+		} else {
+			s.wireCDXBarNoC()
+		}
+	case Private:
+		s.Map = dcl1.PrivateMap{Cores: cfg.Cores, NodeCount: d.DCL1s}
+		s.wireNoC1()
+		s.wireNoC2Flat()
+	case Shared:
+		s.Map = dcl1.SharedMap{NodeCount: d.DCL1s}
+		s.wireNoC1()
+		s.wireNoC2Flat()
+	case Clustered:
+		s.Map = dcl1.ClusteredMap{Cores: cfg.Cores, NodeCount: d.DCL1s, Clusters: d.Clusters}
+		s.wireNoC1()
+		s.wireNoC2Clustered()
+	case SingleL1:
+		s.Map = dcl1.SharedMap{NodeCount: 1}
+		s.wireSingleL1()
+	case MeshBase:
+		s.Map = dcl1.PrivateMap{Cores: cfg.Cores, NodeCount: cfg.Cores}
+		s.wireLocalL1()
+		s.wireMeshNoC()
+	}
+	s.wireMemSide()
+	return s
+}
+
+func validate(cfg Config, d Design) {
+	switch d.Kind {
+	case Private, Shared:
+		if cfg.Cores%d.DCL1s != 0 && d.Kind == Private {
+			panic(fmt.Sprintf("gpu: %d cores not divisible by %d DC-L1 nodes", cfg.Cores, d.DCL1s))
+		}
+	case Clustered:
+		if d.DCL1s%d.Clusters != 0 || cfg.Cores%d.Clusters != 0 {
+			panic("gpu: clusters must divide cores and DC-L1 nodes")
+		}
+		m := d.DCL1s / d.Clusters
+		if cfg.L2Slices%m != 0 {
+			panic("gpu: DC-L1s per cluster must divide L2 slices")
+		}
+	case CDXBar:
+		if cfg.Cores%d.CDXGroups != 0 || cfg.L2Slices%d.CDXMid != 0 {
+			panic("gpu: CDXBar groups/mid must divide cores/L2 slices")
+		}
+	}
+}
+
+// nodeCount returns the number of L1/DC-L1 nodes in the design.
+func (s *System) nodeCount() int {
+	switch s.D.Kind {
+	case Baseline, CDXBar, MeshBase:
+		return s.Cfg.Cores
+	case SingleL1:
+		return 1
+	default:
+		return s.D.DCL1s
+	}
+}
+
+func (s *System) buildCores() {
+	cfg := s.Cfg
+	for c := 0; c < cfg.Cores; c++ {
+		co := core.New(core.Params{
+			ID:             c,
+			MaxOutstanding: cfg.MaxOutstanding,
+			OutCap:         8,
+			InCap:          16,
+			WavesPerCTA:    cfg.WavesPerCTA,
+			GTO:            cfg.GTO,
+		})
+		waves := s.App.WavesFor(c)
+		for w := 0; w < waves; w++ {
+			co.AddWave(s.App.Program(cfg.Cores, c, w, cfg.Sched, cfg.Seed))
+		}
+		s.Cores = append(s.Cores, co)
+		s.CoreClk.Register(co)
+	}
+}
+
+// l1NodeParams derives the cache geometry of one L1/DC-L1 node.
+func (s *System) l1NodeParams(id int) dcl1.Params {
+	cfg, d := s.Cfg, s.D
+	nodes := s.nodeCount()
+	totalLines := cfg.Cores * cfg.L1KB * 1024 / mem.LineBytes * d.L1CapacityScale
+	perNodeLines := totalLines
+	if d.Kind == Baseline || d.Kind == CDXBar || d.Kind == MeshBase {
+		perNodeLines = cfg.L1KB * 1024 / mem.LineBytes * d.L1CapacityScale
+	} else {
+		perNodeLines = totalLines / nodes
+	}
+	sets := perNodeLines / cfg.L1Ways
+	if sets < 1 {
+		sets = 1
+	}
+	bankBytes := perNodeLines * mem.LineBytes
+	lat := sim.Cycle(power.CacheAccessLatency(bankBytes, int(cfg.L1Lat)))
+	ports := 1
+	qcap := 4
+	pump := pumpRate
+	mshrs := cfg.L1MSHRs
+	ctrlCap := 8
+	if d.Kind == SingleL1 {
+		// Hypothetical study: total capacity, bandwidth, and MSHR budget of
+		// all 80 private L1s concentrated in one node.
+		ports = cfg.Cores
+		qcap = 4 * cfg.Cores
+		pump = 2 * cfg.Cores
+		lat = cfg.L1Lat
+		mshrs = cfg.L1MSHRs * cfg.Cores
+		ctrlCap = 4 * cfg.Cores
+	}
+	// A home-sliced DC-L1 only caches every homeMod-th line; the sequential
+	// prefetcher must stride accordingly.
+	homeMod := 1
+	switch d.Kind {
+	case Shared:
+		homeMod = d.DCL1s
+	case Clustered:
+		homeMod = d.DCL1s / d.Clusters
+	}
+	policy := cache.WriteEvict
+	if d.L1WriteBack {
+		policy = cache.WriteBack
+	}
+	return dcl1.Params{
+		ID: id,
+		Cache: cache.Params{
+			Name:           fmt.Sprintf("l1-%d", id),
+			Sets:           sets,
+			Ways:           cfg.L1Ways,
+			HitLatency:     lat,
+			MSHRs:          mshrs,
+			MaxMerge:       cfg.L1MaxMerge,
+			Ports:          ports,
+			Policy:         policy,
+			Perfect:        d.PerfectL1,
+			PrefetchNext:   d.PrefetchNext,
+			PrefetchStride: homeMod,
+			InCap:          ctrlCap,
+			OutCap:         ctrlCap,
+			MissCap:        ctrlCap,
+			FillCap:        ctrlCap,
+		},
+		QueueCap:     qcap,
+		PumpPerCycle: pump,
+	}
+}
+
+func (s *System) buildNodes() {
+	n := s.nodeCount()
+	for i := 0; i < n; i++ {
+		nd := dcl1.New(s.l1NodeParams(i), s.Tracker)
+		s.Nodes = append(s.Nodes, nd)
+		s.CoreClk.Register(nd)
+	}
+}
+
+func (s *System) buildL2AndDram() {
+	cfg := s.Cfg
+	lines := cfg.L2KB * 1024 / mem.LineBytes
+	sets := lines / cfg.L2Ways
+	for i := 0; i < cfg.L2Slices; i++ {
+		l2 := cache.New(cache.Params{
+			Name:       fmt.Sprintf("l2-%d", i),
+			Sets:       sets,
+			Ways:       cfg.L2Ways,
+			HitLatency: cfg.L2Lat,
+			MSHRs:      cfg.L2MSHRs,
+			MaxMerge:   16,
+			Ports:      1,
+			Policy:     cache.WriteBack,
+			InCap:      8,
+			OutCap:     8,
+			MissCap:    8,
+			FillCap:    8,
+		}, 1000+i, nil)
+		s.L2 = append(s.L2, l2)
+		s.l2in = append(s.l2in, sim.NewQueue[*mem.Access](8))
+		s.Noc2Clk.Register(l2)
+	}
+	for ch := 0; ch < cfg.Channels; ch++ {
+		dc := dram.New(dram.Params{
+			Name:  fmt.Sprintf("mc-%d", ch),
+			Banks: cfg.DramBanks,
+			Map:   s.AMap,
+		})
+		s.Drams = append(s.Drams, dc)
+		s.MemClk.Register(dc)
+	}
+}
+
+// pump returns a Ticker moving accesses from q through try, up to rate/cycle.
+func pump(q *sim.Queue[*mem.Access], rate int, try func(a *mem.Access) bool) sim.Ticker {
+	return sim.TickFunc(func(sim.Cycle) {
+		for i := 0; i < rate; i++ {
+			a, ok := q.Peek()
+			if !ok {
+				return
+			}
+			if !try(a) {
+				return
+			}
+			q.Pop()
+		}
+	})
+}
+
+func sink(q *sim.Queue[*mem.Access]) noc.Endpoint {
+	return noc.EndpointFunc(func(p *mem.Packet) bool { return q.Push(p.Acc) })
+}
+
+func (s *System) xbar(name string, ins, outs int) *noc.Crossbar {
+	return noc.New(noc.Params{
+		Name: name, Ins: ins, Outs: outs,
+		LinkBytes: s.D.FlitBytes, RouterLat: 2,
+	})
+}
+
+// wireLocalL1 connects each core to its colocated private L1 node
+// (Baseline and CDXBar): core↔node queues move at core clock.
+func (s *System) wireLocalL1() {
+	for c := 0; c < s.Cfg.Cores; c++ {
+		co, nd := s.Cores[c], s.Nodes[c]
+		s.CoreClk.Register(pump(co.Out, pumpRate, nd.Q1.Push))
+		s.CoreClk.Register(pump(nd.Q2, pumpRate, co.In.Push))
+	}
+}
+
+// wireBaselineNoC builds the 80×32 request and 32×80 reply crossbars between
+// the L1 nodes and the L2 slices.
+func (s *System) wireBaselineNoC() {
+	cfg := s.Cfg
+	req := s.xbar("noc-req", cfg.Cores, cfg.L2Slices)
+	rep := s.xbar("noc-rep", cfg.L2Slices, cfg.Cores)
+	s.Noc2Req = []*noc.Crossbar{req}
+	s.Noc2Rep = []*noc.Crossbar{rep}
+	s.Noc2Clk.Register(req)
+	s.Noc2Clk.Register(rep)
+	for c := 0; c < cfg.Cores; c++ {
+		c := c
+		nd := s.Nodes[c]
+		s.Noc2Clk.Register(pump(nd.Q3, pumpRate, func(a *mem.Access) bool {
+			return req.Inject(&mem.Packet{
+				Acc: a, Src: c, Dst: s.AMap.L2Slice(a.Line),
+				Flits: reqFlits(a, s.D.FlitBytes, true),
+			})
+		}))
+		rep.SetEndpoint(c, sink(nd.Q4))
+	}
+	for i := 0; i < cfg.L2Slices; i++ {
+		req.SetEndpoint(i, sink(s.l2in[i]))
+	}
+	s.wireL2Replies(func(a *mem.Access, slice int) bool {
+		dst := a.Core
+		if a.Core == cache.PrefetchCore {
+			dst = a.Node
+		}
+		return rep.Inject(&mem.Packet{
+			Acc: a, Src: slice, Dst: dst,
+			Flits: replyFlits(a, s.D.FlitBytes, false, false),
+		})
+	})
+}
+
+// wireNoC1 builds NoC#1 between lite cores and DC-L1 nodes for the Private,
+// Shared, and Clustered designs.
+func (s *System) wireNoC1() {
+	cfg, d := s.Cfg, s.D
+	switch d.Kind {
+	case Private:
+		per := cfg.Cores / d.DCL1s
+		for n := 0; n < d.DCL1s; n++ {
+			req := s.xbar(fmt.Sprintf("noc1-req-%d", n), per, 1)
+			rep := s.xbar(fmt.Sprintf("noc1-rep-%d", n), 1, per)
+			s.Noc1Req = append(s.Noc1Req, req)
+			s.Noc1Rep = append(s.Noc1Rep, rep)
+			s.Noc1Clk.Register(req)
+			s.Noc1Clk.Register(rep)
+			req.SetEndpoint(0, sink(s.Nodes[n].Q1))
+		}
+		for c := 0; c < cfg.Cores; c++ {
+			c := c
+			n := c / per
+			req := s.Noc1Req[n]
+			src := c % per
+			s.Noc1Clk.Register(pump(s.Cores[c].Out, pumpRate, func(a *mem.Access) bool {
+				return req.Inject(&mem.Packet{Acc: a, Src: src, Dst: 0,
+					Flits: reqFlits(a, d.FlitBytes, false)})
+			}))
+			s.Noc1Rep[n].SetEndpoint(src, sink(s.Cores[c].In))
+		}
+		for n := 0; n < d.DCL1s; n++ {
+			n := n
+			rep := s.Noc1Rep[n]
+			s.Noc1Clk.Register(pump(s.Nodes[n].Q2, pumpRate, func(a *mem.Access) bool {
+				return rep.Inject(&mem.Packet{Acc: a, Src: 0, Dst: a.Core % per,
+					Flits: replyFlits(a, d.FlitBytes, true, s.trim)})
+			}))
+		}
+	case Shared:
+		req := s.xbar("noc1-req", cfg.Cores, d.DCL1s)
+		rep := s.xbar("noc1-rep", d.DCL1s, cfg.Cores)
+		s.Noc1Req = []*noc.Crossbar{req}
+		s.Noc1Rep = []*noc.Crossbar{rep}
+		s.Noc1Clk.Register(req)
+		s.Noc1Clk.Register(rep)
+		for c := 0; c < cfg.Cores; c++ {
+			c := c
+			s.Noc1Clk.Register(pump(s.Cores[c].Out, pumpRate, func(a *mem.Access) bool {
+				return req.Inject(&mem.Packet{Acc: a, Src: c, Dst: s.Map.Home(c, a.Line),
+					Flits: reqFlits(a, d.FlitBytes, false)})
+			}))
+			rep.SetEndpoint(c, sink(s.Cores[c].In))
+		}
+		for n := 0; n < d.DCL1s; n++ {
+			n := n
+			req.SetEndpoint(n, sink(s.Nodes[n].Q1))
+			s.Noc1Clk.Register(pump(s.Nodes[n].Q2, pumpRate, func(a *mem.Access) bool {
+				return rep.Inject(&mem.Packet{Acc: a, Src: n, Dst: a.Core,
+					Flits: replyFlits(a, d.FlitBytes, true, s.trim)})
+			}))
+		}
+	case Clustered:
+		z := d.Clusters
+		m := d.DCL1s / z
+		coresPer := cfg.Cores / z
+		for cl := 0; cl < z; cl++ {
+			req := s.xbar(fmt.Sprintf("noc1-req-%d", cl), coresPer, m)
+			rep := s.xbar(fmt.Sprintf("noc1-rep-%d", cl), m, coresPer)
+			s.Noc1Req = append(s.Noc1Req, req)
+			s.Noc1Rep = append(s.Noc1Rep, rep)
+			s.Noc1Clk.Register(req)
+			s.Noc1Clk.Register(rep)
+			for j := 0; j < m; j++ {
+				req.SetEndpoint(j, sink(s.Nodes[cl*m+j].Q1))
+			}
+		}
+		for c := 0; c < cfg.Cores; c++ {
+			c := c
+			cl := c / coresPer
+			req := s.Noc1Req[cl]
+			s.Noc1Clk.Register(pump(s.Cores[c].Out, pumpRate, func(a *mem.Access) bool {
+				local := s.Map.Home(c, a.Line) - cl*m
+				return req.Inject(&mem.Packet{Acc: a, Src: c % coresPer, Dst: local,
+					Flits: reqFlits(a, d.FlitBytes, false)})
+			}))
+			s.Noc1Rep[cl].SetEndpoint(c%coresPer, sink(s.Cores[c].In))
+		}
+		for n := 0; n < d.DCL1s; n++ {
+			n := n
+			cl := n / m
+			rep := s.Noc1Rep[cl]
+			s.Noc1Clk.Register(pump(s.Nodes[n].Q2, pumpRate, func(a *mem.Access) bool {
+				return rep.Inject(&mem.Packet{Acc: a, Src: n % m, Dst: a.Core % coresPer,
+					Flits: replyFlits(a, d.FlitBytes, true, s.trim)})
+			}))
+		}
+	}
+}
+
+// wireSingleL1 connects all cores directly to one aggregated L1 node and the
+// node directly to the L2 slices (Section II-C hypothetical: total L1
+// capacity AND bandwidth preserved, no NoC contention modeled — the study
+// isolates the capacity effect of eliminating replication).
+func (s *System) wireSingleL1() {
+	nd := s.Nodes[0]
+	for c := 0; c < s.Cfg.Cores; c++ {
+		co := s.Cores[c]
+		s.CoreClk.Register(pump(co.Out, pumpRate, nd.Q1.Push))
+	}
+	// Replies demultiplex back to cores by Access.Core.
+	s.CoreClk.Register(pump(nd.Q2, 2*s.Cfg.Cores, func(a *mem.Access) bool {
+		return s.Cores[a.Core].In.Push(a)
+	}))
+	// Miss path: ideal full-width connection to the L2 slices.
+	s.Noc2Clk.Register(pump(nd.Q3, 2*s.Cfg.Cores, func(a *mem.Access) bool {
+		return s.l2in[s.AMap.L2Slice(a.Line)].Push(a)
+	}))
+	s.wireL2Replies(func(a *mem.Access, slice int) bool {
+		return nd.Q4.Push(a)
+	})
+}
+
+// wireNoC2Flat builds the single Y×L2 request / L2×Y reply crossbars used by
+// Private, Shared, and SingleL1 designs.
+func (s *System) wireNoC2Flat() {
+	cfg := s.Cfg
+	y := s.nodeCount()
+	req := s.xbar("noc2-req", y, cfg.L2Slices)
+	rep := s.xbar("noc2-rep", cfg.L2Slices, y)
+	s.Noc2Req = []*noc.Crossbar{req}
+	s.Noc2Rep = []*noc.Crossbar{rep}
+	s.Noc2Clk.Register(req)
+	s.Noc2Clk.Register(rep)
+	for n := 0; n < y; n++ {
+		n := n
+		s.Noc2Clk.Register(pump(s.Nodes[n].Q3, pumpRate, func(a *mem.Access) bool {
+			return req.Inject(&mem.Packet{Acc: a, Src: n, Dst: s.AMap.L2Slice(a.Line),
+				Flits: reqFlits(a, s.D.FlitBytes, true)})
+		}))
+		rep.SetEndpoint(n, sink(s.Nodes[n].Q4))
+	}
+	for i := 0; i < cfg.L2Slices; i++ {
+		req.SetEndpoint(i, sink(s.l2in[i]))
+	}
+	s.wireL2Replies(func(a *mem.Access, slice int) bool {
+		dst := s.Map.Home(a.Core, a.Line)
+		if a.Core == cache.PrefetchCore {
+			dst = a.Node
+		}
+		return rep.Inject(&mem.Packet{Acc: a, Src: slice, Dst: dst,
+			Flits: replyFlits(a, s.D.FlitBytes, false, false)})
+	})
+}
+
+// wireNoC2Clustered builds the M crossbars of Z×(L2/M) in NoC#2 (Fig 10).
+func (s *System) wireNoC2Clustered() {
+	cfg, d := s.Cfg, s.D
+	z := d.Clusters
+	m := d.DCL1s / z
+	o := cfg.L2Slices / m
+	for j := 0; j < m; j++ {
+		req := s.xbar(fmt.Sprintf("noc2-req-%d", j), z, o)
+		rep := s.xbar(fmt.Sprintf("noc2-rep-%d", j), o, z)
+		s.Noc2Req = append(s.Noc2Req, req)
+		s.Noc2Rep = append(s.Noc2Rep, rep)
+		s.Noc2Clk.Register(req)
+		s.Noc2Clk.Register(rep)
+		// Output ports: L2 slices with slice%m == j, indexed by slice/m.
+		for k := 0; k < o; k++ {
+			req.SetEndpoint(k, sink(s.l2in[k*m+j]))
+		}
+	}
+	for n := 0; n < d.DCL1s; n++ {
+		n := n
+		cl := n / m
+		j := n % m
+		req := s.Noc2Req[j]
+		s.Noc2Clk.Register(pump(s.Nodes[n].Q3, pumpRate, func(a *mem.Access) bool {
+			slice := s.AMap.L2Slice(a.Line)
+			return req.Inject(&mem.Packet{Acc: a, Src: cl, Dst: slice / m,
+				Flits: reqFlits(a, d.FlitBytes, true)})
+		}))
+		s.Noc2Rep[j].SetEndpoint(cl, sink(s.Nodes[n].Q4))
+	}
+	cmap := s.Map.(dcl1.ClusteredMap)
+	s.wireL2Replies(func(a *mem.Access, slice int) bool {
+		j := slice % m
+		dst := cmap.Cluster(a.Core)
+		if a.Core == cache.PrefetchCore {
+			dst = a.Node / m
+		}
+		return s.Noc2Rep[j].Inject(&mem.Packet{Acc: a, Src: slice / m, Dst: dst,
+			Flits: replyFlits(a, d.FlitBytes, false, false)})
+	})
+}
+
+// wireCDXBarNoC builds the hierarchical two-stage crossbar (Fig 19a study):
+// stage 1 concentrates groups of cores onto mid links, stage 2 crosses to
+// the L2 slices. Private L1s remain in the cores.
+func (s *System) wireCDXBarNoC() {
+	cfg, d := s.Cfg, s.D
+	g := d.CDXGroups
+	mid := d.CDXMid
+	per := cfg.Cores / g
+	o := cfg.L2Slices / mid
+	midReq := make([][]*sim.Queue[*mem.Access], g)
+	midRep := make([][]*sim.Queue[*mem.Access], g)
+	for i := range midReq {
+		midReq[i] = make([]*sim.Queue[*mem.Access], mid)
+		midRep[i] = make([]*sim.Queue[*mem.Access], mid)
+		for j := range midReq[i] {
+			midReq[i][j] = sim.NewQueue[*mem.Access](4)
+			midRep[i][j] = sim.NewQueue[*mem.Access](4)
+		}
+	}
+	// Stage 1 (per group): per×mid request, mid×per reply. Runs on Noc1Clk
+	// so CDXBar+2xNoC1 boosts only this stage.
+	var s1req, s1rep []*noc.Crossbar
+	for gi := 0; gi < g; gi++ {
+		req := s.xbar(fmt.Sprintf("cdx-s1-req-%d", gi), per, mid)
+		rep := s.xbar(fmt.Sprintf("cdx-s1-rep-%d", gi), mid, per)
+		s1req = append(s1req, req)
+		s1rep = append(s1rep, rep)
+		s.Noc1Clk.Register(req)
+		s.Noc1Clk.Register(rep)
+		for j := 0; j < mid; j++ {
+			req.SetEndpoint(j, sink(midReq[gi][j]))
+		}
+	}
+	s.Noc1Req = s1req
+	s.Noc1Rep = s1rep
+	// Stage 2: mid crossbars of g×o request, o×g reply, on Noc2Clk.
+	var s2req, s2rep []*noc.Crossbar
+	for j := 0; j < mid; j++ {
+		req := s.xbar(fmt.Sprintf("cdx-s2-req-%d", j), g, o)
+		rep := s.xbar(fmt.Sprintf("cdx-s2-rep-%d", j), o, g)
+		s2req = append(s2req, req)
+		s2rep = append(s2rep, rep)
+		s.Noc2Clk.Register(req)
+		s.Noc2Clk.Register(rep)
+		for k := 0; k < o; k++ {
+			req.SetEndpoint(k, sink(s.l2in[k*mid+j]))
+		}
+	}
+	s.Noc2Req = s2req
+	s.Noc2Rep = s2rep
+	// Core L1 nodes inject into stage 1; mid queues pump into stage 2.
+	for c := 0; c < cfg.Cores; c++ {
+		c := c
+		gi := c / per
+		nd := s.Nodes[c]
+		req := s1req[gi]
+		s.Noc1Clk.Register(pump(nd.Q3, pumpRate, func(a *mem.Access) bool {
+			slice := s.AMap.L2Slice(a.Line)
+			return req.Inject(&mem.Packet{Acc: a, Src: c % per, Dst: slice % mid,
+				Flits: reqFlits(a, d.FlitBytes, true)})
+		}))
+		s1rep[gi].SetEndpoint(c%per, sink(nd.Q4))
+	}
+	for gi := 0; gi < g; gi++ {
+		gi := gi
+		for j := 0; j < mid; j++ {
+			j := j
+			req2 := s2req[j]
+			s.Noc2Clk.Register(pump(midReq[gi][j], pumpRate, func(a *mem.Access) bool {
+				slice := s.AMap.L2Slice(a.Line)
+				return req2.Inject(&mem.Packet{Acc: a, Src: gi, Dst: slice / mid,
+					Flits: reqFlits(a, d.FlitBytes, true)})
+			}))
+			rep1 := s1rep[gi]
+			s.Noc1Clk.Register(pump(midRep[gi][j], pumpRate, func(a *mem.Access) bool {
+				who := a.Core
+				if a.Core == cache.PrefetchCore {
+					who = a.Node
+				}
+				return rep1.Inject(&mem.Packet{Acc: a, Src: j, Dst: who % per,
+					Flits: replyFlits(a, d.FlitBytes, false, false)})
+			}))
+		}
+	}
+	for j := 0; j < mid; j++ {
+		j := j
+		for gi := 0; gi < g; gi++ {
+			s2rep[j].SetEndpoint(gi, sink(midRep[gi][j]))
+		}
+	}
+	s.wireL2Replies(func(a *mem.Access, slice int) bool {
+		j := slice % mid
+		who := a.Core
+		if a.Core == cache.PrefetchCore {
+			who = a.Node
+		}
+		gi := who / per
+		return s2rep[j].Inject(&mem.Packet{Acc: a, Src: slice / mid, Dst: gi,
+			Flits: replyFlits(a, d.FlitBytes, false, false)})
+	})
+}
+
+// wireL2Replies registers, for every L2 slice: the l2in→L2.In pump and the
+// L2.Out→reply-network pump using the supplied injector. ACKs for L1
+// writebacks (Core == -1, produced when the write-back L1 ablation evicts
+// dirty lines) have no requester and are consumed here.
+func (s *System) wireL2Replies(inject func(a *mem.Access, slice int) bool) {
+	for i := range s.L2 {
+		i := i
+		s.Noc2Clk.Register(pump(s.l2in[i], pumpRate, s.L2[i].In.Push))
+		s.Noc2Clk.Register(pump(s.L2[i].Out, pumpRate, func(a *mem.Access) bool {
+			if a.Kind == mem.Store && a.Core == -1 {
+				return true // orphan writeback ACK: drop
+			}
+			return inject(a, i)
+		}))
+	}
+}
+
+// wireMemSide connects L2 miss queues to the DRAM channels and routes DRAM
+// replies back to the owning slice.
+func (s *System) wireMemSide() {
+	for i := range s.L2 {
+		ch := s.AMap.Channel(i)
+		dc := s.Drams[ch]
+		s.Noc2Clk.Register(pump(s.L2[i].MissOut, pumpRate, dc.In.Push))
+	}
+	for _, dc := range s.Drams {
+		dc := dc
+		s.MemClk.Register(pump(dc.Out, pumpRate, func(a *mem.Access) bool {
+			if a.Kind == mem.Store && a.Core == -1 {
+				return true // orphan writeback ACK: drop
+			}
+			return s.L2[s.AMap.L2Slice(a.Line)].FillIn.Push(a)
+		}))
+	}
+}

@@ -1,0 +1,292 @@
+// Package gpu assembles complete simulated machines for every cache
+// organization the paper evaluates — Baseline (private per-core L1s), PrY
+// (private aggregated DC-L1s), ShY (fully shared DC-L1s), ShY+CZ (clustered
+// shared DC-L1s), their frequency-boosted variants, and the CDXBar
+// hierarchical-crossbar baseline — and runs workloads on them, producing the
+// measurements behind each figure.
+package gpu
+
+import (
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/sim"
+	"dcl1sim/internal/workload"
+)
+
+// Config is the machine configuration (Table II equivalents). Zero fields
+// take the 80-core defaults via WithDefaults.
+type Config struct {
+	Cores    int
+	L2Slices int
+	Channels int
+
+	CoreMHz int64
+	NoCMHz  int64
+	MemMHz  int64
+
+	// L1 (per core under Baseline; DC-L1 nodes keep the summed capacity).
+	L1KB   int
+	L1Ways int
+	L1Lat  sim.Cycle // access latency of a 32 KB bank; larger banks derive
+	// their latency from the CACTI model. Negative values are
+	// clamped to zero (Fig 19b sweeps from zero).
+	L1MSHRs    int
+	L1MaxMerge int
+
+	// L2 per slice.
+	L2KB    int
+	L2Ways  int
+	L2Lat   sim.Cycle
+	L2MSHRs int
+
+	// DRAM banks per channel.
+	DramBanks int
+
+	// Run windows, in core cycles.
+	WarmupCycles  sim.Cycle
+	MeasureCycles sim.Cycle
+
+	// Workload knobs.
+	Sched workload.Sched
+	Seed  uint64
+
+	// Max wavefronts the core model tracks concurrently.
+	MaxOutstanding int
+
+	// WavesPerCTA groups each core's wavefronts into CTAs for barrier
+	// synchronization (0 = the whole core is one CTA; only matters for
+	// workloads that emit barriers).
+	WavesPerCTA int
+
+	// GTO switches wavefront issue from round-robin to greedy-then-oldest.
+	GTO bool
+}
+
+// WithDefaults fills zero fields with the paper's 80-core machine.
+func (c Config) WithDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 80
+	}
+	if c.L2Slices <= 0 {
+		c.L2Slices = 32
+	}
+	if c.Channels <= 0 {
+		c.Channels = 16
+	}
+	if c.CoreMHz <= 0 {
+		c.CoreMHz = 1400
+	}
+	if c.NoCMHz <= 0 {
+		c.NoCMHz = 700
+	}
+	if c.MemMHz <= 0 {
+		c.MemMHz = 924
+	}
+	if c.L1KB <= 0 {
+		c.L1KB = 32
+	}
+	if c.L1Ways <= 0 {
+		c.L1Ways = 4
+	}
+	if c.L1Lat == 0 {
+		c.L1Lat = 28
+	}
+	if c.L1Lat < 0 {
+		c.L1Lat = 0
+	}
+	if c.L1MSHRs <= 0 {
+		c.L1MSHRs = 64
+	}
+	if c.L1MaxMerge <= 0 {
+		c.L1MaxMerge = 8
+	}
+	if c.L2KB <= 0 {
+		c.L2KB = 128
+	}
+	if c.L2Ways <= 0 {
+		c.L2Ways = 8
+	}
+	if c.L2Lat <= 0 {
+		c.L2Lat = 20
+	}
+	if c.L2MSHRs <= 0 {
+		c.L2MSHRs = 128
+	}
+	if c.DramBanks <= 0 {
+		c.DramBanks = 16
+	}
+	if c.WarmupCycles <= 0 {
+		c.WarmupCycles = 10000
+	}
+	if c.MeasureCycles <= 0 {
+		c.MeasureCycles = 40000
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 12
+	}
+	return c
+}
+
+// AddressMap returns the L2/DRAM address mapping for this machine.
+func (c Config) AddressMap() mem.AddressMap {
+	return mem.AddressMap{
+		L2Slices: c.L2Slices,
+		Channels: c.Channels,
+		Banks:    c.DramBanks,
+		RowLines: 16,
+	}
+}
+
+// DesignKind enumerates the cache organizations.
+type DesignKind uint8
+
+// Organizations under evaluation.
+const (
+	Baseline  DesignKind = iota
+	Private              // PrY
+	Shared               // ShY
+	Clustered            // ShY+CZ
+	CDXBar               // hierarchical two-stage crossbar with private L1s
+	SingleL1             // Section II-C hypothetical: one aggregated L1
+	MeshBase             // extension: private L1s on a 2D-mesh NoC
+)
+
+// String implements fmt.Stringer.
+func (k DesignKind) String() string {
+	switch k {
+	case Baseline:
+		return "Baseline"
+	case Private:
+		return "Pr"
+	case Shared:
+		return "Sh"
+	case Clustered:
+		return "ShC"
+	case CDXBar:
+		return "CDXBar"
+	case SingleL1:
+		return "SingleL1"
+	case MeshBase:
+		return "MeshBase"
+	default:
+		return "?"
+	}
+}
+
+// Design selects one evaluated organization plus the study knobs.
+type Design struct {
+	Kind     DesignKind
+	DCL1s    int // Y (Private/Shared/Clustered)
+	Clusters int // Z (Clustered)
+
+	Boost1 bool // NoC#1 at 2x the interconnect clock (Sh40+C10+Boost)
+
+	// CDXBar shape and boosts (Fig 19a).
+	CDXGroups   int
+	CDXMid      int
+	CDXBoostS1  bool // CDXBar+2xNoC1
+	CDXBoostAll bool // CDXBar+2xNoC
+
+	// Study knobs.
+	L1CapacityScale int  // 16 for Fig 1, 2 for the boosted baseline
+	PerfectL1       bool // Fig 4c
+	FlitBytes       int  // 64 for the 2x-flit boosted baseline
+	NoCBoost        bool // baseline with 2x NoC frequency (boosted baseline)
+	TrimReplies     *bool
+	// PrefetchNext enables the sequential prefetcher extension in the
+	// L1/DC-L1 nodes: N best-effort line fetches per demand miss.
+	PrefetchNext int
+	// L1WriteBack switches the L1/DC-L1 policy from the paper's write-evict
+	// (+ no-write-allocate) to write-back (+ write-allocate): an ablation of
+	// the Section VII policy choice.
+	L1WriteBack bool
+}
+
+func (d Design) withDefaults(cfg Config) Design {
+	if d.DCL1s <= 0 {
+		d.DCL1s = cfg.Cores / 2
+	}
+	if d.Clusters <= 0 {
+		d.Clusters = 1
+	}
+	if d.CDXGroups <= 0 {
+		d.CDXGroups = 10
+	}
+	if d.CDXMid <= 0 {
+		d.CDXMid = 4
+	}
+	if d.L1CapacityScale <= 0 {
+		d.L1CapacityScale = 1
+	}
+	if d.FlitBytes <= 0 {
+		d.FlitBytes = 32
+	}
+	if d.TrimReplies == nil {
+		t := true
+		d.TrimReplies = &t
+	}
+	return d
+}
+
+// Name returns the paper's name for the design (e.g. "Sh40+C10+Boost").
+func (d Design) Name() string {
+	switch d.Kind {
+	case Baseline:
+		n := "Baseline"
+		if d.L1CapacityScale > 1 {
+			n += fmtInt("+", d.L1CapacityScale, "xL1")
+		}
+		if d.PerfectL1 {
+			n += "+PerfectL1"
+		}
+		if d.NoCBoost {
+			n += "+2xNoC"
+		}
+		if d.FlitBytes > 32 {
+			n += "+2xFlit"
+		}
+		return n
+	case Private:
+		return fmtInt("Pr", d.DCL1s, suffix(d))
+	case Shared:
+		return fmtInt("Sh", d.DCL1s, suffix(d))
+	case Clustered:
+		return fmtInt("Sh", d.DCL1s, fmtInt("+C", d.Clusters, suffix(d)))
+	case CDXBar:
+		switch {
+		case d.CDXBoostAll:
+			return "CDXBar+2xNoC"
+		case d.CDXBoostS1:
+			return "CDXBar+2xNoC1"
+		default:
+			return "CDXBar"
+		}
+	case SingleL1:
+		return "SingleL1"
+	case MeshBase:
+		return "MeshBase"
+	}
+	return "?"
+}
+
+func suffix(d Design) string {
+	s := ""
+	if d.Boost1 {
+		s += "+Boost"
+	}
+	if d.PerfectL1 {
+		s += "+PerfectL1"
+	}
+	return s
+}
+
+func fmtInt(pre string, v int, post string) string {
+	digits := ""
+	if v == 0 {
+		digits = "0"
+	}
+	for v > 0 {
+		digits = string(rune('0'+v%10)) + digits
+		v /= 10
+	}
+	return pre + digits + post
+}

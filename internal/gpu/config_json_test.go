@@ -1,0 +1,74 @@
+package gpu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadConfigRoundTrip(t *testing.T) {
+	in := `{"Cores": 16, "L2Slices": 8, "Channels": 4, "MeasureCycles": 5000}`
+	c, err := LoadConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cores != 16 || c.L2Slices != 8 || c.MeasureCycles != 5000 {
+		t.Fatalf("parsed %+v", c)
+	}
+	// Defaults still apply for omitted fields.
+	d := c.WithDefaults()
+	if d.CoreMHz != 1400 || d.L1KB != 32 {
+		t.Fatalf("defaults not applied: %+v", d)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"Cores\": 16") {
+		t.Fatalf("serialized config missing fields:\n%s", buf.String())
+	}
+}
+
+func TestLoadConfigRejectsUnknownFields(t *testing.T) {
+	if _, err := LoadConfig(strings.NewReader(`{"Coress": 16}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+	if _, err := LoadConfig(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadConfigValidates(t *testing.T) {
+	cases := []string{
+		`{"Cores": -1}`,
+		`{"MeasureCycles": -5}`,
+		`{"L2Slices": 4, "Channels": 8}`,
+	}
+	for _, in := range cases {
+		if _, err := LoadConfig(strings.NewReader(in)); err == nil {
+			t.Errorf("invalid config accepted: %s", in)
+		}
+	}
+}
+
+func TestValidateDefaultsOK(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config must validate: %v", err)
+	}
+	if err := testCfg().Validate(); err != nil {
+		t.Fatalf("test config must validate: %v", err)
+	}
+}
+
+func TestLoadedConfigRuns(t *testing.T) {
+	in := `{"Cores": 8, "L2Slices": 4, "Channels": 2, "L1KB": 4, "L2KB": 32,
+	        "WarmupCycles": 1000, "MeasureCycles": 3000}`
+	c, err := LoadConfig(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Run(c, Design{Kind: Baseline}, sharingApp())
+	if r.IPC <= 0 {
+		t.Fatal("loaded config produced a dead machine")
+	}
+}

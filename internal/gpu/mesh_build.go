@@ -1,0 +1,71 @@
+package gpu
+
+import (
+	"dcl1sim/internal/cache"
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/noc"
+)
+
+// Mesh wiring for the MeshBase extension design: the baseline machine
+// (private per-core L1s) with its monolithic crossbar replaced by a 2D mesh.
+// Cores occupy the first grid nodes in row-major order; L2 slices occupy the
+// remaining nodes, so reply traffic crosses the die like request traffic.
+
+// meshShape picks a near-square grid holding cores + L2 slices.
+func meshShape(nodes int) (w, h int) {
+	w = 1
+	for w*w < nodes {
+		w++
+	}
+	h = (nodes + w - 1) / w
+	return w, h
+}
+
+// MeshReq and MeshRep are exposed for tests via the System fields below.
+type meshNets struct {
+	req *noc.Mesh
+	rep *noc.Mesh
+}
+
+func (s *System) wireMeshNoC() {
+	cfg := s.Cfg
+	total := cfg.Cores + cfg.L2Slices
+	w, h := meshShape(total)
+	mk := func(name string) *noc.Mesh {
+		return noc.NewMesh(noc.MeshParams{
+			Name: name, W: w, H: h, LinkBytes: s.D.FlitBytes,
+		})
+	}
+	req := mk("mesh-req")
+	rep := mk("mesh-rep")
+	s.MeshReq, s.MeshRep = req, rep
+	s.Noc2Clk.Register(req)
+	s.Noc2Clk.Register(rep)
+
+	l2Node := func(slice int) int { return cfg.Cores + slice }
+
+	for c := 0; c < cfg.Cores; c++ {
+		c := c
+		nd := s.Nodes[c]
+		s.Noc2Clk.Register(pump(nd.Q3, pumpRate, func(a *mem.Access) bool {
+			return req.Inject(&mem.Packet{
+				Acc: a, Src: c, Dst: l2Node(s.AMap.L2Slice(a.Line)),
+				Flits: reqFlits(a, s.D.FlitBytes, true),
+			})
+		}))
+		rep.SetEndpoint(c, sink(nd.Q4))
+	}
+	for i := 0; i < cfg.L2Slices; i++ {
+		req.SetEndpoint(l2Node(i), sink(s.l2in[i]))
+	}
+	s.wireL2Replies(func(a *mem.Access, slice int) bool {
+		dst := a.Core
+		if a.Core == cache.PrefetchCore {
+			dst = a.Node
+		}
+		return rep.Inject(&mem.Packet{
+			Acc: a, Src: l2Node(slice), Dst: dst,
+			Flits: replyFlits(a, s.D.FlitBytes, false, false),
+		})
+	})
+}

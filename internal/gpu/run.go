@@ -1,0 +1,226 @@
+package gpu
+
+import (
+	"dcl1sim/internal/cache"
+	"dcl1sim/internal/core"
+	"dcl1sim/internal/dram"
+	"dcl1sim/internal/noc"
+	"dcl1sim/internal/power"
+	"dcl1sim/internal/sim"
+	"dcl1sim/internal/stats"
+	"dcl1sim/internal/workload"
+)
+
+// Results of one run (one app × one design), measured over the post-warmup
+// window.
+type Results struct {
+	Design string
+	App    string
+
+	MeasuredCycles sim.Cycle // core cycles
+	Seconds        float64   // simulated wall-clock of the window
+
+	IPC              float64 // wavefront instructions per core cycle, all cores
+	L1MissRate       float64 // aggregate load miss rate across L1/DC-L1 nodes
+	ReplicationRatio float64 // replicated misses / total misses
+	MeanReplicas     float64 // copies per line, sampled at install
+	MaxL1PortUtil    float64 // max per-node data-port utilization
+	MaxReplyLinkUtil float64 // max reply-network output-link utilization
+	MeanRTT          float64 // mean load round-trip, core cycles
+	P50RTT           int64   // median load round-trip upper bound (log2 buckets)
+	P99RTT           int64   // 99th-percentile load round-trip upper bound
+	L2MissRate       float64
+	DramReads        int64
+	DramWrites       int64
+
+	Noc1Flits int64
+	Noc2Flits int64
+
+	// Per-node port utilizations (ascending node id), for Fig 17.
+	L1PortUtil []float64
+}
+
+// Run executes the app on the design and returns measurements.
+func Run(cfg Config, d Design, app workload.Source) Results {
+	s := NewSystem(cfg, d, app)
+	return s.Run()
+}
+
+// Run executes this system's warmup and measurement windows.
+func (s *System) Run() Results {
+	cfg := s.Cfg
+	s.Eng.RunUntil(s.CoreClk, cfg.WarmupCycles)
+	s.resetStats()
+	start := s.CoreClk.Now()
+	s.Eng.RunUntil(s.CoreClk, cfg.WarmupCycles+cfg.MeasureCycles)
+	cycles := s.CoreClk.Now() - start
+	return s.collect(cycles)
+}
+
+func (s *System) resetStats() {
+	for _, c := range s.Cores {
+		c.Stat = core.Stats{}
+	}
+	for _, n := range s.Nodes {
+		n.Ctrl.Stat = cache.Stats{}
+		n.Stat.BypassReplies = 0
+		n.Stat.BypassRequests = 0
+	}
+	for _, l2 := range s.L2 {
+		l2.Stat = cache.Stats{}
+	}
+	for _, dc := range s.Drams {
+		dc.Stat = dram.Stats{}
+	}
+	if s.MeshReq != nil {
+		s.MeshReq.Stat = noc.MeshStats{}
+		s.MeshRep.Stat = noc.MeshStats{}
+	}
+	for _, group := range [][]*noc.Crossbar{s.Noc1Req, s.Noc1Rep, s.Noc2Req, s.Noc2Rep} {
+		for _, x := range group {
+			st := noc.Stats{
+				InFlits:  make([]int64, x.P.Ins),
+				OutFlits: make([]int64, x.P.Outs),
+			}
+			x.Stat = st
+		}
+	}
+	s.Tracker.SampledReplicaSum = 0
+	s.Tracker.SampledReplicaCount = 0
+}
+
+func (s *System) collect(cycles sim.Cycle) Results {
+	r := Results{
+		Design:         s.D.Name(),
+		App:            s.App.Label(),
+		MeasuredCycles: cycles,
+		Seconds:        float64(cycles) / (float64(s.Cfg.CoreMHz) * 1e6),
+	}
+	var issued int64
+	var rttSum, rttCnt int64
+	var rtt stats.Histogram
+	for _, c := range s.Cores {
+		issued += c.Stat.Issued
+		rttSum += c.Stat.RTTSum
+		rttCnt += c.Stat.RTTCount
+		rtt.Merge(&c.Stat.RTT)
+	}
+	r.IPC = float64(issued) / float64(cycles)
+	if rttCnt > 0 {
+		r.MeanRTT = float64(rttSum) / float64(rttCnt)
+		r.P50RTT = rtt.Percentile(50)
+		r.P99RTT = rtt.Percentile(99)
+	}
+
+	var loads, misses, replicated int64
+	for _, n := range s.Nodes {
+		st := &n.Ctrl.Stat
+		loads += st.Loads
+		misses += st.LoadMisses
+		replicated += st.ReplicatedMisses
+		u := float64(st.Accesses) / float64(cycles)
+		r.L1PortUtil = append(r.L1PortUtil, u)
+		if u > r.MaxL1PortUtil {
+			r.MaxL1PortUtil = u
+		}
+	}
+	if loads > 0 {
+		r.L1MissRate = float64(misses) / float64(loads)
+	}
+	if misses > 0 {
+		r.ReplicationRatio = float64(replicated) / float64(misses)
+	}
+	r.MeanReplicas = s.Tracker.MeanReplicas()
+
+	var l2loads, l2miss int64
+	for _, l2 := range s.L2 {
+		l2loads += l2.Stat.Loads
+		l2miss += l2.Stat.LoadMisses
+	}
+	if l2loads > 0 {
+		r.L2MissRate = float64(l2miss) / float64(l2loads)
+	}
+	for _, dc := range s.Drams {
+		r.DramReads += dc.Stat.Reads
+		r.DramWrites += dc.Stat.Writes
+	}
+
+	for _, x := range s.Noc1Req {
+		r.Noc1Flits += x.Stat.FlitsMoved
+	}
+	for _, x := range s.Noc1Rep {
+		r.Noc1Flits += x.Stat.FlitsMoved
+		if u := x.Stat.MaxOutUtilization(); s.D.Kind != Baseline && s.D.Kind != CDXBar && u > r.MaxReplyLinkUtil {
+			r.MaxReplyLinkUtil = u
+		}
+	}
+	for _, x := range s.Noc2Req {
+		r.Noc2Flits += x.Stat.FlitsMoved
+	}
+	for _, x := range s.Noc2Rep {
+		r.Noc2Flits += x.Stat.FlitsMoved
+		if u := x.Stat.MaxOutUtilization(); (s.D.Kind == Baseline || s.D.Kind == CDXBar) && u > r.MaxReplyLinkUtil {
+			r.MaxReplyLinkUtil = u
+		}
+	}
+	if s.MeshReq != nil {
+		r.Noc2Flits += s.MeshReq.Stat.FlitHops + s.MeshRep.Stat.FlitHops
+	}
+	return r
+}
+
+// NoCSpec returns the power-model description of this design's NoC (one
+// physical subnetwork; request/reply duplication cancels in normalization).
+func (s *System) NoCSpec() power.NoCSpec {
+	cfg, d := s.Cfg, s.D
+	noc1 := float64(s.Noc1Clk.FreqMHz())
+	noc2 := float64(s.Noc2Clk.FreqMHz())
+	switch d.Kind {
+	case Baseline:
+		return power.BaselineNoC(cfg.Cores, cfg.L2Slices, d.FlitBytes, noc2)
+	case Private:
+		return power.PrivateNoC(cfg.Cores, d.DCL1s, cfg.L2Slices, d.FlitBytes, noc1, noc2)
+	case Shared:
+		return power.SharedNoC(cfg.Cores, d.DCL1s, cfg.L2Slices, d.FlitBytes, noc1, noc2)
+	case Clustered:
+		return power.ClusteredNoC(cfg.Cores, d.DCL1s, d.Clusters, cfg.L2Slices, d.FlitBytes, noc1, noc2)
+	case CDXBar:
+		return power.CDXBarNoC(cfg.Cores, d.CDXGroups, d.CDXMid, cfg.L2Slices, d.FlitBytes, noc1, noc2)
+	case SingleL1:
+		return power.SharedNoC(cfg.Cores, 1, cfg.L2Slices, d.FlitBytes, noc1, noc2)
+	case MeshBase:
+		return power.MeshNoC(cfg.Cores+cfg.L2Slices, d.FlitBytes, noc2)
+	}
+	return power.NoCSpec{}
+}
+
+// DesignNoCSpec builds the NoCSpec without constructing a full system.
+func DesignNoCSpec(cfg Config, d Design) power.NoCSpec {
+	cfg = cfg.WithDefaults()
+	d = d.withDefaults(cfg)
+	noc1 := float64(cfg.NoCMHz)
+	if d.Boost1 || d.CDXBoostS1 || d.CDXBoostAll || (d.Kind == Baseline && d.NoCBoost) {
+		noc1 *= 2
+	}
+	noc2 := float64(cfg.NoCMHz)
+	if d.CDXBoostAll || (d.Kind == Baseline && d.NoCBoost) {
+		noc2 *= 2
+	}
+	switch d.Kind {
+	case Baseline:
+		return power.BaselineNoC(cfg.Cores, cfg.L2Slices, d.FlitBytes, noc2)
+	case Private:
+		return power.PrivateNoC(cfg.Cores, d.DCL1s, cfg.L2Slices, d.FlitBytes, noc1, noc2)
+	case Shared:
+		return power.SharedNoC(cfg.Cores, d.DCL1s, cfg.L2Slices, d.FlitBytes, noc1, noc2)
+	case Clustered:
+		return power.ClusteredNoC(cfg.Cores, d.DCL1s, d.Clusters, cfg.L2Slices, d.FlitBytes, noc1, noc2)
+	case CDXBar:
+		return power.CDXBarNoC(cfg.Cores, d.CDXGroups, d.CDXMid, cfg.L2Slices, d.FlitBytes, noc1, noc2)
+	case SingleL1:
+		return power.SharedNoC(cfg.Cores, 1, cfg.L2Slices, d.FlitBytes, noc1, noc2)
+	case MeshBase:
+		return power.MeshNoC(cfg.Cores+cfg.L2Slices, d.FlitBytes, noc2)
+	}
+	return power.NoCSpec{}
+}

@@ -1,0 +1,37 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResultsSummary(t *testing.T) {
+	r := Run(testCfg(), Design{Kind: Baseline}, sharingApp())
+	s := r.Summary()
+	for _, want := range []string{"app:", "design:", "Baseline", "IPC:", "replication ratio:", "p50<=", "DRAM"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestResultsSpeedup(t *testing.T) {
+	base := Results{IPC: 2}
+	ours := Results{IPC: 3}
+	if got := ours.Speedup(base); got != 1.5 {
+		t.Fatalf("speedup = %f", got)
+	}
+	if got := ours.Speedup(Results{}); got != 0 {
+		t.Fatalf("degenerate speedup = %f", got)
+	}
+}
+
+func TestRTTPercentilesOrdered(t *testing.T) {
+	r := Run(testCfg(), Design{Kind: Shared, DCL1s: 4}, sharingApp())
+	if r.P50RTT <= 0 || r.P99RTT < r.P50RTT {
+		t.Fatalf("percentiles inconsistent: p50=%d p99=%d", r.P50RTT, r.P99RTT)
+	}
+	if float64(r.P99RTT) < r.MeanRTT/4 {
+		t.Fatalf("p99 (%d) implausibly below mean (%f)", r.P99RTT, r.MeanRTT)
+	}
+}

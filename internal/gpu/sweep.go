@@ -1,0 +1,49 @@
+package gpu
+
+import (
+	"runtime"
+	"sync"
+
+	"dcl1sim/internal/workload"
+)
+
+// Job is one simulation in a sweep.
+type Job struct {
+	Cfg Config
+	D   Design
+	App workload.Source
+}
+
+// RunMany executes a batch of independent simulations across worker
+// goroutines (one per CPU by default) and returns results in job order.
+// Each simulation is itself single-threaded and deterministic, so the batch
+// output is independent of scheduling.
+func RunMany(jobs []Job, workers int) []Results {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out := make([]Results, len(jobs))
+	if len(jobs) == 0 {
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = Run(jobs[i].Cfg, jobs[i].D, jobs[i].App)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,32 @@
+package gpu
+
+import (
+	"testing"
+)
+
+func TestRunManyMatchesSerial(t *testing.T) {
+	cfg := testCfg()
+	jobs := []Job{
+		{Cfg: cfg, D: Design{Kind: Baseline}, App: sharingApp()},
+		{Cfg: cfg, D: Design{Kind: Shared, DCL1s: 4}, App: sharingApp()},
+		{Cfg: cfg, D: Design{Kind: Private, DCL1s: 4}, App: streamApp()},
+	}
+	par := RunMany(jobs, 3)
+	for i, j := range jobs {
+		serial := Run(j.Cfg, j.D, j.App)
+		if par[i].IPC != serial.IPC || par[i].L1MissRate != serial.L1MissRate {
+			t.Fatalf("job %d diverged: parallel %+v vs serial %+v", i, par[i].IPC, serial.IPC)
+		}
+	}
+}
+
+func TestRunManyEmptyAndDefaults(t *testing.T) {
+	if out := RunMany(nil, 0); len(out) != 0 {
+		t.Fatal("empty batch must return empty results")
+	}
+	cfg := testCfg()
+	out := RunMany([]Job{{Cfg: cfg, D: Design{Kind: Baseline}, App: sharingApp()}}, 0)
+	if len(out) != 1 || out[0].IPC <= 0 {
+		t.Fatal("single-job batch failed")
+	}
+}

@@ -1,0 +1,146 @@
+// Package mem defines the memory-access and packet types exchanged between
+// GPU cores, (DC-)L1 caches, the NoC, L2 slices, and memory controllers, plus
+// the address-mapping helpers shared by all designs.
+//
+// Addresses are handled at cache-line granularity throughout the simulator:
+// an Access carries a line number (byte address >> 7 for 128 B lines) and the
+// number of bytes the requesting wavefront actually needs, which determines
+// reply size on NoC#1 under the DC-L1 designs (the paper's "send only the
+// requested bytes" optimization, Section III).
+package mem
+
+import "fmt"
+
+// LineBytes is the cache line size used by every cache level (Table II).
+const LineBytes = 128
+
+// Kind classifies a memory access.
+type Kind uint8
+
+// Access kinds. NonL1 traffic models instruction/texture/constant misses that
+// bypass the (DC-)L1 data cache on their way to L2 (Section III, "Handling
+// Non-L1 Requests"). Atomics skip the L1/DC-L1 and are resolved at the L2/MC.
+const (
+	Load Kind = iota
+	Store
+	NonL1
+	Atomic
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case NonL1:
+		return "non-l1"
+	case Atomic:
+		return "atomic"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Access is one line-granular memory transaction produced by a core's
+// coalescer. The same value travels down the hierarchy as a request and back
+// up as a reply (IsReply set), so end-to-end latency can be measured without
+// auxiliary maps.
+type Access struct {
+	ID   uint64 // unique per run, assigned by the issuing core
+	Kind Kind
+	Line uint64 // cache-line number (byte address / LineBytes)
+
+	// ReqBytes is the number of bytes the wavefront needs from this line
+	// (<= LineBytes). Replies on NoC#1 under DC-L1 designs carry only these
+	// bytes; baseline replies and all NoC#2 fills carry the whole line.
+	ReqBytes int
+
+	Core int // issuing core id
+	Wave int // issuing wavefront id within the core
+
+	// Node is the L1/DC-L1 node that generated this access, for traffic that
+	// has no originating core (sequential prefetches): replies route back to
+	// the node instead of a core's home path.
+	Node int
+
+	IsReply bool
+
+	// IssuedAt is the issuing core-clock cycle, for round-trip statistics.
+	IssuedAt int64
+}
+
+// Reply returns a copy of a marked as a reply.
+func (a *Access) Reply() *Access {
+	r := *a
+	r.IsReply = true
+	return &r
+}
+
+// Packet wraps an Access for transport through one crossbar: Src and Dst are
+// port indices local to that crossbar, and Flits is the serialized length in
+// link-width units (set by the injecting node via FlitCount).
+type Packet struct {
+	Acc   *Access
+	Src   int
+	Dst   int
+	Flits int
+}
+
+// FlitCount returns the number of flits a message occupies on links of
+// linkBytes width: one header/control flit plus enough data flits for
+// payloadBytes. Read requests and write ACKs are control-only
+// (payloadBytes = 0) and occupy a single flit.
+func FlitCount(payloadBytes, linkBytes int) int {
+	if linkBytes <= 0 {
+		panic("mem: FlitCount with non-positive link width")
+	}
+	if payloadBytes <= 0 {
+		return 1
+	}
+	return 1 + (payloadBytes+linkBytes-1)/linkBytes
+}
+
+// AddressMap fixes how lines map onto L2 slices, memory channels, DRAM banks
+// and rows. All designs share the L2/memory side; DC-L1 home selection is
+// design-specific and lives in package dcl1.
+type AddressMap struct {
+	L2Slices int
+	Channels int
+	Banks    int
+	RowLines int // lines per DRAM row (row size / LineBytes)
+}
+
+// L2Slice returns the L2 slice holding a line. Lines interleave across slices
+// at line granularity (slice = line mod L2Slices), the counterpart of the
+// paper's address-sliced L2 banks.
+func (m AddressMap) L2Slice(line uint64) int {
+	return int(line % uint64(m.L2Slices))
+}
+
+// Channel returns the memory channel serving an L2 slice. Adjacent slices
+// pair onto a channel (2 slices per MC in the 80-core machine: 32 slices,
+// 16 channels).
+func (m AddressMap) Channel(slice int) int {
+	per := m.L2Slices / m.Channels
+	if per <= 0 {
+		per = 1
+	}
+	ch := slice / per
+	if ch >= m.Channels {
+		ch = m.Channels - 1
+	}
+	return ch
+}
+
+// Bank returns the DRAM bank within a channel for a line: sequential rows
+// interleave across banks so streaming workloads touch many banks.
+func (m AddressMap) Bank(line uint64) int {
+	return int((line / uint64(m.RowLines)) % uint64(m.Banks))
+}
+
+// Row returns the DRAM row index within a bank.
+func (m AddressMap) Row(line uint64) uint64 {
+	return line / uint64(m.RowLines) / uint64(m.Banks)
+}

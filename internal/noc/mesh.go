@@ -1,0 +1,279 @@
+package noc
+
+import (
+	"fmt"
+
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/sim"
+)
+
+// Mesh is a W×H 2D mesh of 5-port routers (North/South/East/West/Local)
+// with XY dimension-ordered routing — the scalable alternative to the
+// paper's monolithic crossbars, provided as an extension study. Every
+// endpoint (core, DC-L1 node, or L2 slice) attaches to one grid node's
+// local port; packets serialize hop by hop at one flit per cycle per link.
+//
+// XY routing is deadlock-free on a mesh without further virtual channels,
+// and as in the crossbar model, request and reply traffic use two physical
+// Mesh instances.
+type Mesh struct {
+	P    MeshParams
+	Stat MeshStats
+
+	routers   []meshRouter
+	endpoints []Endpoint
+}
+
+// MeshParams configures a mesh.
+type MeshParams struct {
+	Name       string
+	W, H       int
+	LinkBytes  int
+	QueueDepth int       // per-input-port buffer, in packets
+	RouterLat  sim.Cycle // pipeline latency per hop
+}
+
+func (p MeshParams) withDefaults() MeshParams {
+	if p.LinkBytes <= 0 {
+		p.LinkBytes = 32
+	}
+	if p.QueueDepth <= 0 {
+		p.QueueDepth = 4
+	}
+	if p.RouterLat <= 0 {
+		p.RouterLat = 1
+	}
+	return p
+}
+
+// MeshStats aggregates mesh activity.
+type MeshStats struct {
+	Cycles    int64
+	Packets   int64 // delivered packets
+	FlitHops  int64 // flits × links traversed
+	HopsSum   int64 // hops of delivered packets
+	StallFull int64 // grants blocked by a full downstream buffer
+}
+
+// MeanHops returns average hops per delivered packet.
+func (s *MeshStats) MeanHops() float64 {
+	if s.Packets == 0 {
+		return 0
+	}
+	return float64(s.HopsSum) / float64(s.Packets)
+}
+
+const (
+	dirN = iota
+	dirS
+	dirE
+	dirW
+	dirL
+	numPorts
+)
+
+type meshPacket struct {
+	p    *mem.Packet
+	hops int
+}
+
+type meshRouter struct {
+	in      [numPorts]*sim.Queue[*meshPacket]
+	outBusy [numPorts]sim.Cycle
+	rr      [numPorts]int
+	// inflight holds packets traversing this router toward an output;
+	// pendingOut bounds it per output so a blocked downstream buffer
+	// backpressures into the input queues instead of growing unboundedly.
+	inflight   *sim.DelayQueue[*meshTransit]
+	pendingOut [numPorts]int
+}
+
+type meshTransit struct {
+	mp  *meshPacket
+	out int
+}
+
+// NewMesh builds a W×H mesh.
+func NewMesh(p MeshParams) *Mesh {
+	p = p.withDefaults()
+	if p.W < 1 || p.H < 1 {
+		panic(fmt.Sprintf("noc: mesh %q needs positive dimensions", p.Name))
+	}
+	m := &Mesh{
+		P:         p,
+		routers:   make([]meshRouter, p.W*p.H),
+		endpoints: make([]Endpoint, p.W*p.H),
+	}
+	for i := range m.routers {
+		r := &m.routers[i]
+		for d := 0; d < numPorts; d++ {
+			r.in[d] = sim.NewQueue[*meshPacket](p.QueueDepth)
+		}
+		r.inflight = sim.NewDelayQueue[*meshTransit]()
+	}
+	return m
+}
+
+// Nodes returns the number of grid nodes.
+func (m *Mesh) Nodes() int { return m.P.W * m.P.H }
+
+// SetEndpoint attaches the receiver of node n's local port.
+func (m *Mesh) SetEndpoint(n int, e Endpoint) { m.endpoints[n] = e }
+
+// Inject offers a packet at node p.Src's local input; p.Dst is the
+// destination node. Returns false when the local input buffer is full.
+func (m *Mesh) Inject(p *mem.Packet) bool {
+	if p.Src < 0 || p.Src >= m.Nodes() || p.Dst < 0 || p.Dst >= m.Nodes() {
+		panic(fmt.Sprintf("noc: mesh %s inject with bad nodes src=%d dst=%d", m.P.Name, p.Src, p.Dst))
+	}
+	if p.Flits <= 0 {
+		panic("noc: mesh packet with no flits")
+	}
+	return m.routers[p.Src].in[dirL].Push(&meshPacket{p: p})
+}
+
+func (m *Mesh) xy(n int) (x, y int) { return n % m.P.W, n / m.P.W }
+
+// route returns the output direction at node n for destination dst
+// (X first, then Y; dirL when arrived).
+func (m *Mesh) route(n, dst int) int {
+	cx, cy := m.xy(n)
+	dx, dy := m.xy(dst)
+	switch {
+	case dx > cx:
+		return dirE
+	case dx < cx:
+		return dirW
+	case dy > cy:
+		return dirS
+	case dy < cy:
+		return dirN
+	default:
+		return dirL
+	}
+}
+
+// neighbor returns the node adjacent to n in direction d, or -1.
+func (m *Mesh) neighbor(n, d int) int {
+	x, y := m.xy(n)
+	switch d {
+	case dirN:
+		y--
+	case dirS:
+		y++
+	case dirE:
+		x++
+	case dirW:
+		x--
+	default:
+		return -1
+	}
+	if x < 0 || x >= m.P.W || y < 0 || y >= m.P.H {
+		return -1
+	}
+	return y*m.P.W + x
+}
+
+// opposite returns the input direction a packet arrives on after moving in
+// direction d (moving East arrives on the neighbor's West input).
+func opposite(d int) int {
+	switch d {
+	case dirN:
+		return dirS
+	case dirS:
+		return dirN
+	case dirE:
+		return dirW
+	case dirW:
+		return dirE
+	}
+	return dirL
+}
+
+// Tick advances the mesh one cycle: deliver matured transits, then arbitrate
+// each router's outputs round-robin over its inputs.
+func (m *Mesh) Tick(now sim.Cycle) {
+	m.Stat.Cycles++
+	// Phase 1: complete transits (hand packets to the next router's input
+	// buffer, or to the endpoint for local outputs).
+	for n := range m.routers {
+		r := &m.routers[n]
+		var retry []*meshTransit
+		for {
+			tr, ok := r.inflight.PopReady(now)
+			if !ok {
+				break
+			}
+			if tr.out == dirL {
+				ep := m.endpoints[n]
+				if ep == nil || !ep.Deliver(tr.mp.p) {
+					m.Stat.StallFull++
+					retry = append(retry, tr)
+					continue
+				}
+				r.pendingOut[tr.out]--
+				m.Stat.Packets++
+				m.Stat.HopsSum += int64(tr.mp.hops)
+				continue
+			}
+			nb := m.neighbor(n, tr.out)
+			if nb < 0 {
+				panic("noc: mesh transit off the grid")
+			}
+			if !m.routers[nb].in[opposite(tr.out)].Push(tr.mp) {
+				m.Stat.StallFull++
+				retry = append(retry, tr)
+				continue
+			}
+			r.pendingOut[tr.out]--
+		}
+		// Blocked transits retry next cycle; a stall on one output must not
+		// stall transits headed elsewhere.
+		for _, tr := range retry {
+			r.inflight.Push(tr, now+1)
+		}
+	}
+	// Phase 2: arbitration. One grant per output port per router per cycle;
+	// a granted packet occupies the output for Flits cycles (serialization).
+	for n := range m.routers {
+		r := &m.routers[n]
+		for out := 0; out < numPorts; out++ {
+			if r.outBusy[out] > now || r.pendingOut[out] >= 2 {
+				continue
+			}
+			start := r.rr[out]
+			for k := 0; k < numPorts; k++ {
+				in := (start + k) % numPorts
+				mp, ok := r.in[in].Peek()
+				if !ok {
+					continue
+				}
+				if m.route(n, mp.p.Dst) != out {
+					continue
+				}
+				r.in[in].Pop()
+				mp.hops++
+				dur := sim.Cycle(mp.p.Flits)
+				r.outBusy[out] = now + dur
+				r.pendingOut[out]++
+				r.inflight.Push(&meshTransit{mp: mp, out: out}, now+dur+m.P.RouterLat)
+				r.rr[out] = (in + 1) % numPorts
+				m.Stat.FlitHops += int64(mp.p.Flits)
+				break
+			}
+		}
+	}
+}
+
+// Pending returns packets buffered anywhere in the mesh (drain checks).
+func (m *Mesh) Pending() int {
+	total := 0
+	for n := range m.routers {
+		r := &m.routers[n]
+		for d := 0; d < numPorts; d++ {
+			total += r.in[d].Len()
+		}
+		total += r.inflight.Len()
+	}
+	return total
+}

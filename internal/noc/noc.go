@@ -1,0 +1,288 @@
+// Package noc models the crossbar networks-on-chip connecting GPU cores,
+// DC-L1 nodes, and L2 slices. A Crossbar is an input-VOQ (virtual output
+// queue) switch with round-robin output arbitration — the behavioural
+// equivalent of the paper's iSLIP-allocated crossbars with virtual channels.
+// Packets are serialized onto 32 B links: a packet of F flits holds its input
+// and output port for F cycles (virtual cut-through approximation).
+//
+// Real systems split the NoC into independent request and reply physical
+// networks to avoid protocol deadlock (Section VII); the gpu package
+// instantiates two Crossbars per logical NoC accordingly.
+package noc
+
+import (
+	"fmt"
+
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/sim"
+)
+
+// Endpoint receives packets emerging from a crossbar output port. Deliver
+// returns false when the receiver has no room this cycle; the crossbar
+// retries on subsequent cycles.
+type Endpoint interface {
+	Deliver(p *mem.Packet) bool
+}
+
+// EndpointFunc adapts a function to Endpoint.
+type EndpointFunc func(p *mem.Packet) bool
+
+// Deliver implements Endpoint.
+func (f EndpointFunc) Deliver(p *mem.Packet) bool { return f(p) }
+
+// QueueEndpoint delivers packets into a bounded queue.
+type QueueEndpoint struct{ Q *sim.Queue[*mem.Packet] }
+
+// Deliver implements Endpoint.
+func (e QueueEndpoint) Deliver(p *mem.Packet) bool { return e.Q.Push(p) }
+
+// Params configures a crossbar.
+type Params struct {
+	Name      string
+	Ins, Outs int
+	LinkBytes int       // flit width (32 B baseline, 64 B in the 2x-flit study)
+	RouterLat sim.Cycle // pipeline latency added to every traversal
+	VOQDepth  int       // per (input,output) queue depth
+	OutDepth  int       // output staging queue depth
+}
+
+func (p Params) withDefaults() Params {
+	if p.LinkBytes <= 0 {
+		p.LinkBytes = 32
+	}
+	if p.RouterLat <= 0 {
+		p.RouterLat = 2
+	}
+	if p.VOQDepth <= 0 {
+		p.VOQDepth = 4
+	}
+	if p.OutDepth <= 0 {
+		p.OutDepth = 4
+	}
+	return p
+}
+
+// Stats aggregates crossbar activity for utilization and power reporting.
+type Stats struct {
+	Cycles       int64
+	PacketsMoved int64
+	FlitsMoved   int64
+	InFlits      []int64 // per input port
+	OutFlits     []int64 // per output port
+	StallNoRoom  int64   // grants blocked by a full output stage
+}
+
+// OutUtilization returns flits moved on output port o divided by elapsed
+// cycles: the paper's NoC link utilization metric (Fig 2, Fig 17 discussion).
+func (s *Stats) OutUtilization(o int) float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.OutFlits[o]) / float64(s.Cycles)
+}
+
+// MaxOutUtilization returns the maximum utilization across output ports.
+func (s *Stats) MaxOutUtilization() float64 {
+	best := 0.0
+	for o := range s.OutFlits {
+		if u := s.OutUtilization(o); u > best {
+			best = u
+		}
+	}
+	return best
+}
+
+// Crossbar is an Ins x Outs switch. Inject places packets into per-input
+// VOQs; Tick arbitrates outputs round-robin over inputs, models per-port
+// serialization, and delivers completed packets to the registered endpoints.
+type Crossbar struct {
+	P    Params
+	Stat Stats
+
+	voq       [][]*sim.Queue[*mem.Packet] // [in][out]
+	voqBits   [][]uint64                  // [out] bitmap of inputs with waiting packets
+	inBusy    []sim.Cycle                 // input link busy until cycle
+	outBusy   []sim.Cycle                 // output link busy until cycle
+	rr        []int                       // per-output round-robin pointer
+	inFlight  *sim.DelayQueue[*mem.Packet]
+	staged    []*sim.Queue[*mem.Packet] // per-output staging (post-traversal)
+	endpoints []Endpoint
+}
+
+// New creates a crossbar. Endpoints must be attached with SetEndpoint before
+// the first Tick delivers traffic.
+func New(p Params) *Crossbar {
+	p = p.withDefaults()
+	if p.Ins <= 0 || p.Outs <= 0 {
+		panic(fmt.Sprintf("noc: crossbar %q needs positive port counts", p.Name))
+	}
+	x := &Crossbar{
+		P:         p,
+		voq:       make([][]*sim.Queue[*mem.Packet], p.Ins),
+		inBusy:    make([]sim.Cycle, p.Ins),
+		outBusy:   make([]sim.Cycle, p.Outs),
+		rr:        make([]int, p.Outs),
+		inFlight:  sim.NewDelayQueue[*mem.Packet](),
+		staged:    make([]*sim.Queue[*mem.Packet], p.Outs),
+		endpoints: make([]Endpoint, p.Outs),
+	}
+	for i := range x.voq {
+		x.voq[i] = make([]*sim.Queue[*mem.Packet], p.Outs)
+		for o := range x.voq[i] {
+			x.voq[i][o] = sim.NewQueue[*mem.Packet](p.VOQDepth)
+		}
+	}
+	words := (p.Ins + 63) / 64
+	x.voqBits = make([][]uint64, p.Outs)
+	for o := range x.voqBits {
+		x.voqBits[o] = make([]uint64, words)
+	}
+	for o := range x.staged {
+		x.staged[o] = sim.NewQueue[*mem.Packet](p.OutDepth)
+	}
+	x.Stat.InFlits = make([]int64, p.Ins)
+	x.Stat.OutFlits = make([]int64, p.Outs)
+	return x
+}
+
+// SetEndpoint attaches the receiver for output port o.
+func (x *Crossbar) SetEndpoint(o int, e Endpoint) { x.endpoints[o] = e }
+
+// Inject offers a packet at input port p.Src destined for output p.Dst.
+// The packet's Flits field must be set (see mem.FlitCount). Returns false
+// when the VOQ is full; the sender retries later.
+func (x *Crossbar) Inject(p *mem.Packet) bool {
+	if p.Src < 0 || p.Src >= x.P.Ins || p.Dst < 0 || p.Dst >= x.P.Outs {
+		panic(fmt.Sprintf("noc: %s inject with bad ports src=%d dst=%d", x.P.Name, p.Src, p.Dst))
+	}
+	if p.Flits <= 0 {
+		panic("noc: packet with no flits")
+	}
+	if !x.voq[p.Src][p.Dst].Push(p) {
+		return false
+	}
+	x.voqBits[p.Dst][p.Src/64] |= 1 << uint(p.Src%64)
+	return true
+}
+
+// CanInject reports whether input port in has VOQ room toward output out.
+func (x *Crossbar) CanInject(in, out int) bool {
+	return !x.voq[in][out].Full()
+}
+
+// Tick advances the switch one NoC-clock cycle.
+func (x *Crossbar) Tick(now sim.Cycle) {
+	x.Stat.Cycles++
+	x.deliverStaged()
+	x.completeTraversals(now)
+	x.arbitrate(now)
+}
+
+// deliverStaged pushes post-traversal packets into endpoints, in output-port
+// order (deterministic).
+func (x *Crossbar) deliverStaged() {
+	for o := 0; o < x.P.Outs; o++ {
+		q := x.staged[o]
+		for {
+			p, ok := q.Peek()
+			if !ok {
+				break
+			}
+			ep := x.endpoints[o]
+			if ep == nil || !ep.Deliver(p) {
+				break
+			}
+			q.Pop()
+		}
+	}
+}
+
+// completeTraversals moves packets whose serialization finished into the
+// output staging queues. If a stage is full the packet waits in flight
+// (its ports were already released when granted, matching a buffered switch).
+func (x *Crossbar) completeTraversals(now sim.Cycle) {
+	for {
+		p, ok := x.inFlight.PeekReady(now)
+		if !ok {
+			return
+		}
+		if x.staged[p.Dst].Full() {
+			x.Stat.StallNoRoom++
+			return
+		}
+		x.inFlight.PopReady(now)
+		x.staged[p.Dst].Push(p)
+	}
+}
+
+// arbitrate performs one round of output-side round-robin matching. The
+// per-output occupancy bitmaps let the common sparse-traffic case skip empty
+// outputs and empty inputs in O(words) instead of O(ins).
+func (x *Crossbar) arbitrate(now sim.Cycle) {
+	for o := 0; o < x.P.Outs; o++ {
+		if x.outBusy[o] > now {
+			continue
+		}
+		bits := x.voqBits[o]
+		any := false
+		for _, w := range bits {
+			if w != 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		if x.staged[o].Space() == 0 {
+			continue // don't grant into a full stage
+		}
+		start := x.rr[o]
+		for k := 0; k < x.P.Ins; k++ {
+			in := start + k
+			if in >= x.P.Ins {
+				in -= x.P.Ins
+			}
+			if bits[in/64]&(1<<uint(in%64)) == 0 {
+				continue
+			}
+			if x.inBusy[in] > now {
+				continue
+			}
+			q := x.voq[in][o]
+			p, _ := q.Pop()
+			if q.Empty() {
+				x.voqBits[o][in/64] &^= 1 << uint(in%64)
+			}
+			// Grant: serialize p.Flits flits at one per cycle on both ports.
+			dur := sim.Cycle(p.Flits)
+			x.inBusy[in] = now + dur
+			x.outBusy[o] = now + dur
+			x.inFlight.Push(p, now+dur+x.P.RouterLat)
+			x.rr[o] = in + 1
+			if x.rr[o] >= x.P.Ins {
+				x.rr[o] = 0
+			}
+			x.Stat.PacketsMoved++
+			x.Stat.FlitsMoved += int64(p.Flits)
+			x.Stat.InFlits[in] += int64(p.Flits)
+			x.Stat.OutFlits[o] += int64(p.Flits)
+			break
+		}
+	}
+}
+
+// Pending returns the number of packets buffered anywhere in the switch
+// (VOQs, in flight, staged). Useful for drain checks in tests.
+func (x *Crossbar) Pending() int {
+	n := x.inFlight.Len()
+	for i := range x.voq {
+		for o := range x.voq[i] {
+			n += x.voq[i][o].Len()
+		}
+	}
+	for o := range x.staged {
+		n += x.staged[o].Len()
+	}
+	return n
+}

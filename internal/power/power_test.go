@@ -1,0 +1,195 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	cores = 80
+	l2s   = 32
+	flit  = 32
+)
+
+func baselineArea() float64 { return BaselineNoC(cores, l2s, flit, 700).Area() }
+
+func ratio(a, b float64) float64 { return a / b }
+
+// The calibration targets from the paper, with generous tolerances — the
+// model only needs to land in the reported neighbourhood.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.3f, want %.3f ± %.2f", name, got, want, tol)
+	}
+}
+
+func TestNoCAreaMatchesPaperDeltas(t *testing.T) {
+	base := baselineArea()
+	// Fig 6: Pr40 −28%, Pr20 −54%, Pr10 −67%; Pr80 insignificant overhead.
+	within(t, "Pr80 area", ratio(PrivateNoC(cores, 80, l2s, flit, 700, 700).Area(), base), 1.00, 0.06)
+	within(t, "Pr40 area", ratio(PrivateNoC(cores, 40, l2s, flit, 700, 700).Area(), base), 0.72, 0.08)
+	within(t, "Pr20 area", ratio(PrivateNoC(cores, 20, l2s, flit, 700, 700).Area(), base), 0.46, 0.08)
+	within(t, "Pr10 area", ratio(PrivateNoC(cores, 10, l2s, flit, 700, 700).Area(), base), 0.33, 0.08)
+	// Section V-B: Sh40 +69%.
+	within(t, "Sh40 area", ratio(SharedNoC(cores, 40, l2s, flit, 700, 700).Area(), base), 1.69, 0.10)
+	// Fig 12: C5 −45%, C10 −50%, C20 −45%.
+	within(t, "C5 area", ratio(ClusteredNoC(cores, 40, 5, l2s, flit, 700, 700).Area(), base), 0.55, 0.08)
+	within(t, "C10 area", ratio(ClusteredNoC(cores, 40, 10, l2s, flit, 700, 700).Area(), base), 0.50, 0.08)
+	within(t, "C20 area", ratio(ClusteredNoC(cores, 40, 20, l2s, flit, 700, 700).Area(), base), 0.55, 0.08)
+}
+
+func TestNoCStaticPowerMatchesPaperDeltas(t *testing.T) {
+	base := BaselineNoC(cores, l2s, flit, 700).StaticPower()
+	// Fig 6: Pr40 −4%; Pr20/Pr10 bigger reductions.
+	within(t, "Pr40 static", ratio(PrivateNoC(cores, 40, l2s, flit, 700, 700).StaticPower(), base), 0.96, 0.08)
+	pr20 := ratio(PrivateNoC(cores, 20, l2s, flit, 700, 700).StaticPower(), base)
+	pr10 := ratio(PrivateNoC(cores, 10, l2s, flit, 700, 700).StaticPower(), base)
+	if !(pr10 < pr20 && pr20 < 0.96) {
+		t.Errorf("static power must fall with aggregation: pr20=%.3f pr10=%.3f", pr20, pr10)
+	}
+	// Section V-B: Sh40 +57%.
+	within(t, "Sh40 static", ratio(SharedNoC(cores, 40, l2s, flit, 700, 700).StaticPower(), base), 1.57, 0.20)
+	// Fig 12: C5 −15%, C10 −16%, C20 −14%.
+	within(t, "C5 static", ratio(ClusteredNoC(cores, 40, 5, l2s, flit, 700, 700).StaticPower(), base), 0.85, 0.06)
+	within(t, "C10 static", ratio(ClusteredNoC(cores, 40, 10, l2s, flit, 700, 700).StaticPower(), base), 0.84, 0.06)
+	within(t, "C20 static", ratio(ClusteredNoC(cores, 40, 20, l2s, flit, 700, 700).StaticPower(), base), 0.86, 0.06)
+}
+
+func TestMaxFreqShape(t *testing.T) {
+	// Fig 13b: baseline and Sh40 crossbars cannot double 700 MHz; the small
+	// Pr40 (2×1) and Sh40+C10 (8×4) crossbars can.
+	if f := MaxFreqMHz(80, 32); f >= 1400 {
+		t.Errorf("80x32 fmax = %.0f, must be < 1400", f)
+	}
+	if f := MaxFreqMHz(80, 40); f >= 1400 {
+		t.Errorf("80x40 fmax = %.0f, must be < 1400", f)
+	}
+	if f := MaxFreqMHz(8, 4); f < 1400 {
+		t.Errorf("8x4 fmax = %.0f, must be >= 1400", f)
+	}
+	if f := MaxFreqMHz(2, 1); f < MaxFreqMHz(8, 4) {
+		t.Error("2x1 must clock above 8x4")
+	}
+	// All crossbars can run the 700 MHz baseline.
+	for _, pq := range [][2]int{{80, 32}, {80, 40}, {40, 32}, {10, 8}} {
+		if f := MaxFreqMHz(pq[0], pq[1]); f < 700 {
+			t.Errorf("%dx%d fmax = %.0f < 700", pq[0], pq[1], f)
+		}
+	}
+	if MaxFreqMHz(0, 4) != 0 {
+		t.Error("invalid ports must give 0")
+	}
+}
+
+func TestMaxFreqMonotone(t *testing.T) {
+	f := func(a, b uint8) bool {
+		in1, out1 := int(a%100)+1, int(b%100)+1
+		// Growing either dimension can only lower fmax.
+		return MaxFreqMHz(in1+1, out1) <= MaxFreqMHz(in1, out1)+1e-9 &&
+			MaxFreqMHz(in1, out1+1) <= MaxFreqMHz(in1, out1)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheAreaCalibration(t *testing.T) {
+	totalL1 := 80 * 32 * 1024
+	base := CacheArea(totalL1, 80)
+	agg := CacheArea(totalL1, 40)
+	// Fig 18b: aggregating into 40 nodes saves ~8% cache area.
+	within(t, "40-node cache area", agg/base, 0.92, 0.02)
+	// Boosted baseline: 2× capacity at 80 nodes costs ~+84%.
+	boost := CacheArea(2*totalL1, 80)
+	within(t, "2x capacity area", boost/base, 1.84, 0.05)
+}
+
+func TestCacheAccessLatency(t *testing.T) {
+	if got := CacheAccessLatency(32*1024, 28); got != 28 {
+		t.Errorf("32KB latency = %d", got)
+	}
+	// Paper: 64 KB DC-L1 = 30 cycles (7% increase over 28).
+	if got := CacheAccessLatency(64*1024, 28); got != 30 {
+		t.Errorf("64KB latency = %d, want 30", got)
+	}
+	if got := CacheAccessLatency(16*32*1024, 28); got != 36 {
+		t.Errorf("16x capacity latency = %d, want 36", got)
+	}
+	// Zero base latency sweeps (Fig 19b) stay non-negative.
+	if got := CacheAccessLatency(64*1024, 0); got != 2 {
+		t.Errorf("zero-base 64KB latency = %d, want 2", got)
+	}
+	if got := CacheAccessLatency(0, 28); got != 28 {
+		t.Errorf("degenerate size must return base, got %d", got)
+	}
+}
+
+func TestQueueAreaOverhead(t *testing.T) {
+	// Fig 18b: queues across 40 DC-L1 nodes ≈ 6.25% of total baseline L1.
+	totalL1 := float64(80 * 32 * 1024)
+	over := QueueArea(40) / totalL1
+	within(t, "queue overhead", over, 0.0625, 0.001)
+}
+
+func TestDynamicPowerScalesWithTraffic(t *testing.T) {
+	spec := ClusteredNoC(cores, 40, 10, l2s, flit, 1400, 700)
+	p1 := spec.DynamicPower([]int64{1000, 1000}, 1.0)
+	p2 := spec.DynamicPower([]int64{2000, 2000}, 1.0)
+	if p2 <= p1 {
+		t.Error("dynamic power must grow with flit count")
+	}
+	// Same flits in half the time = double power.
+	p3 := spec.DynamicPower([]int64{1000, 1000}, 0.5)
+	if math.Abs(p3-2*p1) > 1e-9 {
+		t.Errorf("p3 = %f, want %f", p3, 2*p1)
+	}
+	if spec.DynamicPower([]int64{1}, 1.0) != 0 {
+		t.Error("mismatched flit vector must give 0")
+	}
+	if spec.DynamicPower([]int64{1, 1}, 0) != 0 {
+		t.Error("zero time must give 0")
+	}
+}
+
+func TestCDXBarMatchesClusteredInventory(t *testing.T) {
+	// CDXBar with 10 groups and mid=4 uses the same crossbars as Sh40+C10,
+	// hence near-identical area ("similar NoC area and power savings").
+	cd := CDXBarNoC(cores, 10, 4, l2s, flit, 700, 700)
+	cl := ClusteredNoC(cores, 40, 10, l2s, flit, 700, 700)
+	if math.Abs(cd.Area()-cl.Area()) > 1e-9 {
+		t.Errorf("CDXBar area %.1f != clustered area %.1f", cd.Area(), cl.Area())
+	}
+}
+
+func TestEnergyPerFlitComponents(t *testing.T) {
+	small := EnergyPerFlit(2, 1, 32, 0)
+	big := EnergyPerFlit(80, 32, 32, 0)
+	if big <= small {
+		t.Error("bigger crossbars must cost more per flit")
+	}
+	short := EnergyPerFlit(8, 4, 32, ShortLinkMM)
+	long := EnergyPerFlit(8, 4, 32, LongLinkMM)
+	if long <= short {
+		t.Error("longer links must cost more per flit")
+	}
+	wide := EnergyPerFlit(8, 4, 64, 0)
+	if wide <= EnergyPerFlit(8, 4, 32, 0) {
+		t.Error("wider flits must cost more")
+	}
+}
+
+// Property: area and static power are positive and increase monotonically
+// with port counts for any real crossbar.
+func TestAreaMonotoneProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		in, out := int(a%64)+2, int(b%64)+2
+		return CrossbarArea(in+1, out, 32) > CrossbarArea(in, out, 32) &&
+			CrossbarArea(in, out+1, 32) > CrossbarArea(in, out, 32) &&
+			CrossbarStaticPower(in+1, out, 32) > CrossbarStaticPower(in, out, 32)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package power
+
+// Spec builders for the NoC organizations evaluated in the paper. Each takes
+// the machine shape (cores, DC-L1 nodes, clusters, L2 slices) and returns the
+// crossbar inventory of one physical subnetwork.
+//
+// Link lengths follow the paper's energy analysis: cluster-local crossbars
+// use short 3.3 mm links, chip-crossing stages use long 12.3 mm links.
+
+// Link length assumptions (mm), from Section VIII energy analysis.
+const (
+	ShortLinkMM = 3.3
+	LongLinkMM  = 12.3
+)
+
+// BaselineNoC is the private-L1 machine: one cores×L2 crossbar.
+func BaselineNoC(cores, l2s, flitBytes int, freqMHz float64) NoCSpec {
+	return NoCSpec{
+		Name: "baseline",
+		Xbars: []XbarSpec{
+			{In: cores, Out: l2s, Count: 1, FlitBytes: flitBytes, FreqMHz: freqMHz, LinkMM: LongLinkMM},
+		},
+	}
+}
+
+// PrivateNoC is PrY: cores/Y × 1 crossbars in NoC#1 (direct links when
+// Y == cores) plus a Y×L2 crossbar in NoC#2 (Table I).
+func PrivateNoC(cores, dcl1s, l2s, flitBytes int, noc1MHz, noc2MHz float64) NoCSpec {
+	per := cores / dcl1s
+	return NoCSpec{
+		Name: "private",
+		Xbars: []XbarSpec{
+			{In: per, Out: 1, Count: dcl1s, FlitBytes: flitBytes, FreqMHz: noc1MHz, LinkMM: ShortLinkMM},
+			{In: dcl1s, Out: l2s, Count: 1, FlitBytes: flitBytes, FreqMHz: noc2MHz, LinkMM: LongLinkMM},
+		},
+	}
+}
+
+// SharedNoC is ShY: a full cores×Y crossbar in NoC#1 plus Y×L2 in NoC#2.
+func SharedNoC(cores, dcl1s, l2s, flitBytes int, noc1MHz, noc2MHz float64) NoCSpec {
+	return NoCSpec{
+		Name: "shared",
+		Xbars: []XbarSpec{
+			{In: cores, Out: dcl1s, Count: 1, FlitBytes: flitBytes, FreqMHz: noc1MHz, LinkMM: LongLinkMM},
+			{In: dcl1s, Out: l2s, Count: 1, FlitBytes: flitBytes, FreqMHz: noc2MHz, LinkMM: LongLinkMM},
+		},
+	}
+}
+
+// ClusteredNoC is ShY+CZ: Z crossbars of (cores/Z)×(Y/Z) in NoC#1, and
+// M = Y/Z crossbars of Z×(L2/M) in NoC#2 (Fig 10: each DC-L1 with home index
+// m talks only to the L2 slices serving its address range).
+func ClusteredNoC(cores, dcl1s, clusters, l2s, flitBytes int, noc1MHz, noc2MHz float64) NoCSpec {
+	m := dcl1s / clusters
+	o := l2s / m
+	if o < 1 {
+		o = 1
+	}
+	return NoCSpec{
+		Name: "clustered",
+		Xbars: []XbarSpec{
+			{In: cores / clusters, Out: m, Count: clusters, FlitBytes: flitBytes, FreqMHz: noc1MHz, LinkMM: ShortLinkMM},
+			{In: clusters, Out: o, Count: m, FlitBytes: flitBytes, FreqMHz: noc2MHz, LinkMM: LongLinkMM},
+		},
+	}
+}
+
+// MeshNoC is the 2D-mesh extension: one 5-port router per endpoint with
+// short nearest-neighbour links.
+func MeshNoC(nodes, flitBytes int, freqMHz float64) NoCSpec {
+	return NoCSpec{
+		Name: "mesh",
+		Xbars: []XbarSpec{
+			{In: 5, Out: 5, Count: nodes, FlitBytes: flitBytes, FreqMHz: freqMHz, LinkMM: ShortLinkMM},
+		},
+	}
+}
+
+// CDXBarNoC is the hierarchical two-stage crossbar baseline (Zhao et al.,
+// Fig 19a study): private L1s remain in the cores; stage 1 concentrates
+// groups of cores onto mid links, stage 2 crosses to the L2 slices. With
+// 80 cores, 10 groups, mid = 4 and 32 L2 slices this is the same crossbar
+// inventory as Sh40+C10's NoC (10× 8×4 plus 4× 10×8), which is why the paper
+// reports "similar NoC area and power savings" for the two.
+func CDXBarNoC(cores, groups, mid, l2s, flitBytes int, stage1MHz, stage2MHz float64) NoCSpec {
+	per := cores / groups
+	if mid < 1 {
+		mid = 1
+	}
+	o := l2s / mid
+	if o < 1 {
+		o = 1
+	}
+	return NoCSpec{
+		Name: "cdxbar",
+		Xbars: []XbarSpec{
+			{In: per, Out: mid, Count: groups, FlitBytes: flitBytes, FreqMHz: stage1MHz, LinkMM: ShortLinkMM},
+			{In: groups, Out: o, Count: mid, FlitBytes: flitBytes, FreqMHz: stage2MHz, LinkMM: LongLinkMM},
+		},
+	}
+}

@@ -1,0 +1,75 @@
+package sim
+
+import "container/heap"
+
+// DelayQueue releases items at or after a chosen cycle. It models fixed or
+// variable pipeline latencies (cache hit latency, DRAM data return, router
+// traversal). Items that become ready on the same cycle are released in
+// insertion order, keeping the simulation deterministic.
+type DelayQueue[T any] struct {
+	h   delayHeap[T]
+	seq int64
+}
+
+type delayItem[T any] struct {
+	readyAt Cycle
+	seq     int64
+	v       T
+}
+
+type delayHeap[T any] []delayItem[T]
+
+func (h delayHeap[T]) Len() int { return len(h) }
+func (h delayHeap[T]) Less(i, j int) bool {
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap[T]) Push(x interface{}) { *h = append(*h, x.(delayItem[T])) }
+func (h *delayHeap[T]) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewDelayQueue returns an empty delay queue.
+func NewDelayQueue[T any]() *DelayQueue[T] { return &DelayQueue[T]{} }
+
+// Len returns the number of in-flight items.
+func (d *DelayQueue[T]) Len() int { return d.h.Len() }
+
+// Push schedules v to become ready at cycle readyAt.
+func (d *DelayQueue[T]) Push(v T, readyAt Cycle) {
+	heap.Push(&d.h, delayItem[T]{readyAt: readyAt, seq: d.seq, v: v})
+	d.seq++
+}
+
+// PeekReady reports whether an item is ready at cycle now, without removing it.
+func (d *DelayQueue[T]) PeekReady(now Cycle) (v T, ok bool) {
+	if d.h.Len() == 0 || d.h[0].readyAt > now {
+		return v, false
+	}
+	return d.h[0].v, true
+}
+
+// PopReady removes and returns the next item whose release cycle is <= now.
+func (d *DelayQueue[T]) PopReady(now Cycle) (v T, ok bool) {
+	if d.h.Len() == 0 || d.h[0].readyAt > now {
+		return v, false
+	}
+	it := heap.Pop(&d.h).(delayItem[T])
+	return it.v, true
+}
+
+// NextReadyAt returns the release cycle of the earliest item, or ok=false if
+// the queue is empty.
+func (d *DelayQueue[T]) NextReadyAt() (c Cycle, ok bool) {
+	if d.h.Len() == 0 {
+		return 0, false
+	}
+	return d.h[0].readyAt, true
+}

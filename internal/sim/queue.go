@@ -1,0 +1,120 @@
+package sim
+
+// Queue is a bounded FIFO with backpressure, the basic plumbing between
+// pipeline stages. A capacity of 0 means unbounded (used only by statistics
+// sinks). The zero value is not usable; construct with NewQueue.
+type Queue[T any] struct {
+	buf  []T
+	head int
+	size int
+	cap  int
+
+	// PushCount / PopCount give cumulative traffic through the queue and are
+	// used for occupancy and utilization statistics.
+	PushCount int64
+	PopCount  int64
+}
+
+// NewQueue returns a queue holding at most capacity items (0 = unbounded).
+func NewQueue[T any](capacity int) *Queue[T] {
+	n := capacity
+	if n <= 0 {
+		n = 16
+	}
+	return &Queue[T]{buf: make([]T, n), cap: capacity}
+}
+
+// Cap returns the configured capacity (0 = unbounded).
+func (q *Queue[T]) Cap() int { return q.cap }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return q.size }
+
+// Empty reports whether the queue holds no items.
+func (q *Queue[T]) Empty() bool { return q.size == 0 }
+
+// Full reports whether a Push would fail.
+func (q *Queue[T]) Full() bool { return q.cap > 0 && q.size >= q.cap }
+
+// Space returns how many more items can be pushed; a large number for
+// unbounded queues.
+func (q *Queue[T]) Space() int {
+	if q.cap <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	return q.cap - q.size
+}
+
+// Push appends v and reports whether it was accepted. A full queue rejects
+// the push; callers retry on a later cycle (backpressure).
+func (q *Queue[T]) Push(v T) bool {
+	if q.Full() {
+		return false
+	}
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	q.PushCount++
+	return true
+}
+
+// Peek returns the oldest item without removing it. ok is false when empty.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	return q.buf[q.head], true
+}
+
+// At returns the i-th oldest item (0 = head) without removing it. It panics
+// if i is out of range; use Len to bound the index.
+func (q *Queue[T]) At(i int) T {
+	if i < 0 || i >= q.size {
+		panic("sim: Queue.At index out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// Pop removes and returns the oldest item. ok is false when empty.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	var zero T
+	v = q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.PopCount++
+	return v, true
+}
+
+// RemoveAt removes and returns the i-th oldest item (0 = head), preserving
+// the order of the remaining items. Used by schedulers (e.g. FR-FCFS) that
+// service requests out of order. It panics if i is out of range.
+func (q *Queue[T]) RemoveAt(i int) T {
+	if i < 0 || i >= q.size {
+		panic("sim: Queue.RemoveAt index out of range")
+	}
+	v := q.buf[(q.head+i)%len(q.buf)]
+	// Shift the younger items down one slot.
+	for j := i; j < q.size-1; j++ {
+		q.buf[(q.head+j)%len(q.buf)] = q.buf[(q.head+j+1)%len(q.buf)]
+	}
+	var zero T
+	q.buf[(q.head+q.size-1)%len(q.buf)] = zero
+	q.size--
+	q.PopCount++
+	return v
+}
+
+func (q *Queue[T]) grow() {
+	nb := make([]T, 2*len(q.buf))
+	for i := 0; i < q.size; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}

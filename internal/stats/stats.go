@@ -1,0 +1,249 @@
+// Package stats provides the measurement primitives used across the
+// simulator: counters with rates, log-bucketed histograms for latency
+// distributions, windowed time series for utilization traces, and small
+// helpers for aggregate statistics. Everything is allocation-light so it can
+// sit on simulation fast paths.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Histogram is a log2-bucketed histogram of non-negative integer samples
+// (latencies in cycles, queue depths, burst sizes). Bucket b counts samples
+// in [2^(b-1), 2^b) with bucket 0 holding zeros and ones.
+type Histogram struct {
+	buckets [64]int64
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+}
+
+// Add records one sample; negative samples are clamped to zero.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+func bucketOf(v int64) int {
+	b := 0
+	for x := v; x > 1; x >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Mean returns the sample mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Percentile returns an upper bound on the p-th percentile (p in [0,100]):
+// the top of the bucket containing that rank. Exact enough for latency
+// reporting at log resolution.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for b, n := range h.buckets {
+		seen += n
+		if seen >= rank {
+			if b == 0 {
+				return 1
+			}
+			top := int64(1) << uint(b+1)
+			if top > h.max {
+				top = h.max
+			}
+			return top
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for b, n := range other.buckets {
+		h.buckets[b] += n
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Reset clears the histogram.
+func (h *Histogram) Reset() { *h = Histogram{} }
+
+// Dump writes a textual bucket listing.
+func (h *Histogram) Dump(w io.Writer) {
+	fmt.Fprintf(w, "samples=%d mean=%.1f min=%d max=%d p50<=%d p99<=%d\n",
+		h.count, h.Mean(), h.Min(), h.Max(), h.Percentile(50), h.Percentile(99))
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		lo := int64(0)
+		if b > 0 {
+			lo = 1 << uint(b-1)
+		}
+		fmt.Fprintf(w, "  [%8d, %8d): %d\n", lo, int64(1)<<uint(b), n)
+	}
+}
+
+// Series is a fixed-interval time series: it accumulates a value over a
+// window of cycles and stores one point per window (utilization traces,
+// throughput over time).
+type Series struct {
+	window int64
+	cur    float64
+	curN   int64
+	pts    []float64
+}
+
+// NewSeries creates a series with the given window length in cycles.
+func NewSeries(windowCycles int64) *Series {
+	if windowCycles <= 0 {
+		windowCycles = 1
+	}
+	return &Series{window: windowCycles}
+}
+
+// Observe accumulates v for the current window; call once per cycle.
+func (s *Series) Observe(v float64) {
+	s.cur += v
+	s.curN++
+	if s.curN >= s.window {
+		s.pts = append(s.pts, s.cur/float64(s.curN))
+		s.cur, s.curN = 0, 0
+	}
+}
+
+// Points returns the completed window averages.
+func (s *Series) Points() []float64 {
+	out := make([]float64, len(s.pts))
+	copy(out, s.pts)
+	return out
+}
+
+// Max returns the largest completed window average.
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, p := range s.pts {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// Aggregate helpers ---------------------------------------------------------
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// Geomean returns the geometric mean of positive values (0 if any value is
+// non-positive or the input is empty).
+func Geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+// Median returns the median (0 for empty input).
+func Median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	c := make([]float64, len(vs))
+	copy(c, vs)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// MinMax returns the extremes (zeros for empty input).
+func MinMax(vs []float64) (lo, hi float64) {
+	if len(vs) == 0 {
+		return 0, 0
+	}
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

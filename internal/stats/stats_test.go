@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	for _, v := range []int64{1, 2, 4, 8, 100} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-23) > 1e-9 {
+		t.Fatalf("mean = %f", got)
+	}
+	h.Add(-5) // clamps to 0
+	if h.Min() != 0 {
+		t.Fatal("negative sample must clamp to 0")
+	}
+}
+
+func TestHistogramPercentileBounds(t *testing.T) {
+	var h Histogram
+	for i := int64(1); i <= 1000; i++ {
+		h.Add(i)
+	}
+	// Percentile returns an upper bound at log2 resolution: p50 of 1..1000
+	// is 500, so the bound must be in [500, 1024].
+	p50 := h.Percentile(50)
+	if p50 < 500 || p50 > 1024 {
+		t.Fatalf("p50 bound = %d", p50)
+	}
+	p100 := h.Percentile(100)
+	if p100 != 1000 {
+		t.Fatalf("p100 = %d, want max", p100)
+	}
+	if h.Percentile(-5) <= 0 || h.Percentile(200) != 1000 {
+		t.Fatal("percentile clamping broken")
+	}
+}
+
+func TestHistogramMergeEquivalence(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		var h1, h2, all Histogram
+		for _, v := range a {
+			h1.Add(int64(v))
+			all.Add(int64(v))
+		}
+		for _, v := range b {
+			h2.Add(int64(v))
+			all.Add(int64(v))
+		}
+		h1.Merge(&h2)
+		return h1.Count() == all.Count() && h1.Mean() == all.Mean() &&
+			h1.Min() == all.Min() && h1.Max() == all.Max() &&
+			h1.Percentile(90) == all.Percentile(90)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Add(5)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistogramDump(t *testing.T) {
+	var h Histogram
+	h.Add(3)
+	h.Add(300)
+	var sb strings.Builder
+	h.Dump(&sb)
+	if !strings.Contains(sb.String(), "samples=2") {
+		t.Fatalf("dump missing header: %s", sb.String())
+	}
+}
+
+// Property: percentile upper bound is never below the true percentile.
+func TestHistogramPercentileUpperBoundProperty(t *testing.T) {
+	f := func(raw []uint16, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		p := float64(pRaw % 101)
+		var h Histogram
+		vals := make([]int64, len(raw))
+		for i, v := range raw {
+			vals[i] = int64(v)
+			h.Add(int64(v))
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		rank := int(math.Ceil(p / 100 * float64(len(vals))))
+		if rank < 1 {
+			rank = 1
+		}
+		truth := vals[rank-1]
+		return h.Percentile(p) >= truth
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesWindows(t *testing.T) {
+	s := NewSeries(4)
+	for i := 0; i < 12; i++ {
+		s.Observe(float64(i % 4)) // each window averages (0+1+2+3)/4 = 1.5
+	}
+	pts := s.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p != 1.5 {
+			t.Fatalf("window average = %f", p)
+		}
+	}
+	if s.Max() != 1.5 {
+		t.Fatalf("max = %f", s.Max())
+	}
+	if NewSeries(0).window != 1 {
+		t.Fatal("zero window must clamp to 1")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	if Mean(nil) != 0 || Geomean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty aggregates must be zero")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean")
+	}
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean = %f", g)
+	}
+	if Geomean([]float64{1, -1}) != 0 {
+		t.Fatal("geomean with non-positive input must be 0")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even median")
+	}
+	lo, hi := MinMax([]float64{3, -1, 7})
+	if lo != -1 || hi != 7 {
+		t.Fatalf("minmax = %f %f", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty minmax")
+	}
+}

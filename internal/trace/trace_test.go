@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dcl1sim/internal/core"
+	"dcl1sim/internal/workload"
+)
+
+func smallSpec() workload.Spec {
+	return workload.Spec{
+		Name: "tracee", Suite: "test", Waves: 3,
+		ComputePerMem: 1, SharedLines: 50, SharedFrac: 0.5, SharedZipf: 0.3,
+		PrivateLines: 40, CoalescedLines: 2, WriteFrac: 0.1, NonL1Frac: 0.05,
+	}
+}
+
+func TestCaptureShape(t *testing.T) {
+	tr := Capture(smallSpec(), 4, 100, workload.RoundRobin, 7)
+	if tr.Cores != 4 || tr.Waves != 3 || tr.OpsPer != 100 {
+		t.Fatalf("shape: %+v", tr)
+	}
+	if len(tr.streams) != 12 {
+		t.Fatalf("streams = %d", len(tr.streams))
+	}
+	for i, s := range tr.streams {
+		if len(s) != 100 {
+			t.Fatalf("stream %d length %d", i, len(s))
+		}
+	}
+	if tr.Label() != "tracee" {
+		t.Fatal("label")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := Capture(smallSpec(), 3, 80, workload.RoundRobin, 9)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Cores != tr.Cores || got.Waves != tr.Waves {
+		t.Fatalf("header mismatch: %+v vs %+v", got, tr)
+	}
+	for i := range tr.streams {
+		a, b := tr.streams[i], got.streams[i]
+		if len(a) != len(b) {
+			t.Fatalf("stream %d length %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j].Kind != b[j].Kind || a[j].Blocking != b[j].Blocking ||
+				a[j].Latency != b[j].Latency || a[j].Bytes != b[j].Bytes ||
+				len(a[j].Lines) != len(b[j].Lines) {
+				t.Fatalf("op %d/%d mismatch: %+v vs %+v", i, j, a[j], b[j])
+			}
+			for k := range a[j].Lines {
+				if a[j].Lines[k] != b[j].Lines[k] {
+					t.Fatalf("line mismatch at %d/%d/%d", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestReplayMatchesGenerator(t *testing.T) {
+	spec := smallSpec()
+	tr := Capture(spec, 2, 50, workload.RoundRobin, 3)
+	gen := spec.Program(2, 1, 2, workload.RoundRobin, 3)
+	rep := tr.Program(2, 1, 2, workload.RoundRobin, 3)
+	for i := 0; i < 50; i++ {
+		a, b := gen.Next(), rep.Next()
+		if a.Kind != b.Kind {
+			t.Fatalf("op %d kind %v vs %v", i, a.Kind, b.Kind)
+		}
+		for k := range a.Lines {
+			if a.Lines[k] != b.Lines[k] {
+				t.Fatalf("op %d line %d differs", i, k)
+			}
+		}
+	}
+	// Past the recorded length the replay ends.
+	if op := rep.Next(); op.Kind != core.OpEnd {
+		t.Fatalf("expected OpEnd, got %v", op.Kind)
+	}
+}
+
+func TestReplayOutOfRangeWaveIsEmpty(t *testing.T) {
+	tr := Capture(smallSpec(), 2, 10, workload.RoundRobin, 1)
+	p := tr.Program(4, 3, 9, workload.RoundRobin, 1)
+	if op := p.Next(); op.Kind != core.OpEnd {
+		t.Fatal("surplus wavefront must be empty")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated valid prefix.
+	tr := Capture(smallSpec(), 2, 10, workload.RoundRobin, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestReadRejectsImplausibleHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.Write([]byte{0, 0})                   // empty name
+	buf.Write([]byte{255, 255, 255, 255})     // cores = huge
+	buf.Write([]byte{1, 0, 0, 0, 1, 0, 0, 0}) // waves, ops
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("implausible header accepted")
+	}
+}
+
+// Property: write/read round-trips arbitrary op streams.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(kinds []uint8, linesSeed []uint16) bool {
+		tr := &Trace{Name: "p", Cores: 1, Waves: 1, OpsPer: len(kinds)}
+		var ops []core.Op
+		for i, k := range kinds {
+			op := core.Op{Kind: core.OpKind(k % 5), Latency: int64(i % 7), Bytes: i % 128}
+			if op.Kind != core.OpCompute && len(linesSeed) > 0 {
+				n := int(linesSeed[i%len(linesSeed)]%4) + 1
+				for j := 0; j < n; j++ {
+					op.Lines = append(op.Lines, uint64(i*j)+uint64(linesSeed[i%len(linesSeed)]))
+				}
+			}
+			ops = append(ops, op)
+		}
+		tr.streams = [][]core.Op{ops}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.streams[0]) != len(ops) {
+			return false
+		}
+		for i := range ops {
+			if got.streams[0][i].Kind != ops[i].Kind || len(got.streams[0][i].Lines) != len(ops[i].Lines) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,236 @@
+package workload
+
+// The 28 evaluated applications (Section VII). Parameters are chosen so each
+// app's *baseline* fingerprint approximates Fig 1 (replication ratio, L1 miss
+// rate, 16x-capacity speedup) and the behaviours the text attributes to it.
+// Capacity anchors for the 80-core machine: one 32 KB L1 holds 256 lines;
+// all L1s together hold 20480 lines; one 64 KB DC-L1 (40-node designs) holds
+// 512 lines; a 10-node cluster of Sh40+C10 holds 2048 lines.
+//
+// Class assignments follow the paper:
+//   - 12 replication-sensitive apps (blue boxes in Fig 1);
+//   - 5 poor-performing insensitive apps (Fig 9/13a): C-NN (latency),
+//     C-RAY / P-3MM / P-GEMM (partition camping), P-2DCONV (peak L1 BW);
+//   - 11 further insensitive apps, including R-SC (CTA imbalance, improves
+//     under sharing) and C-BLK (zero replication).
+
+func init() {
+	// ---- Replication-sensitive (12) ------------------------------------
+	register(Spec{
+		Name: "T-AlexNet", Suite: "Tango", Class: ReplicationSensitive,
+		Waves: 32, ComputePerMem: 1, BlockEvery: 3,
+		SharedLines: 1600, SharedFrac: 0.97, SharedZipf: 0.25,
+		PrivateLines: 300, CoalescedLines: 1, WriteFrac: 0.05,
+		PaperReplRatio: 0.95, PaperMissRate: 0.90,
+	})
+	register(Spec{
+		Name: "T-ResNet", Suite: "Tango", Class: ReplicationSensitive,
+		Waves: 32, ComputePerMem: 1, BlockEvery: 3,
+		SharedLines: 1800, SharedFrac: 0.96, SharedZipf: 0.25,
+		PrivateLines: 400, CoalescedLines: 1, WriteFrac: 0.05,
+		PaperReplRatio: 0.90, PaperMissRate: 0.88,
+	})
+	register(Spec{
+		Name: "T-SqueezeNet", Suite: "Tango", Class: ReplicationSensitive,
+		Waves: 32, ComputePerMem: 1, BlockEvery: 3,
+		SharedLines: 1700, SharedFrac: 0.95, SharedZipf: 0.25,
+		PrivateLines: 300, CoalescedLines: 1, WriteFrac: 0.05,
+		PaperReplRatio: 0.90, PaperMissRate: 0.88,
+	})
+	register(Spec{
+		Name: "C-BFS", Suite: "CUDA-SDK", Class: ReplicationSensitive,
+		Waves: 24, ComputePerMem: 2, BlockEvery: 2,
+		SharedLines: 1500, SharedFrac: 0.75, SharedZipf: 0.45,
+		PrivateLines: 4000, CoalescedLines: 4, WriteFrac: 0.10,
+		PaperReplRatio: 0.80, PaperMissRate: 0.75,
+	})
+	register(Spec{
+		// Fig 8 calls this F-2MIM in the OCR; PolyBench 2MM. Partition
+		// camping limits its Sh40 gain to ~6%; 10 home copies fix it.
+		Name: "P-2MM", Suite: "PolyBench", Class: ReplicationSensitive,
+		Waves: 32, ComputePerMem: 1, BlockEvery: 3,
+		SharedLines: 1200, SharedFrac: 0.85, SharedZipf: 0.30, CampStride: 40, CampFrac: 0.20,
+		PrivateLines: 300, CoalescedLines: 1, WriteFrac: 0.08,
+		PaperReplRatio: 0.70, PaperMissRate: 0.80,
+	})
+	register(Spec{
+		// Large shared footprint: only the fully-shared Sh40 dedups it
+		// (2.4x there, 13% under C10+Boost).
+		Name: "P-SYRK", Suite: "PolyBench", Class: ReplicationSensitive,
+		Waves: 32, ComputePerMem: 1, BlockEvery: 3,
+		SharedLines: 12000, SharedFrac: 0.92, SharedZipf: 0.20,
+		PrivateLines: 3000, CoalescedLines: 1, WriteFrac: 0.06,
+		PaperReplRatio: 0.85, PaperMissRate: 0.85,
+	})
+	register(Spec{
+		// Same pattern as P-SYRK: loses 14% even under Sh40+C10+Boost.
+		Name: "S-Reduction", Suite: "SHOC", Class: ReplicationSensitive,
+		Waves: 32, ComputePerMem: 1, BlockEvery: 3,
+		SharedLines: 13000, SharedFrac: 0.90, SharedZipf: 0.20,
+		PrivateLines: 3000, CoalescedLines: 1, WriteFrac: 0.10,
+		PaperReplRatio: 0.80, PaperMissRate: 0.85,
+	})
+	register(Spec{
+		Name: "P-ATAX", Suite: "PolyBench", Class: ReplicationSensitive,
+		Waves: 24, ComputePerMem: 2, BlockEvery: 3,
+		SharedLines: 1000, SharedFrac: 0.80, SharedZipf: 0.35,
+		PrivateLines: 250, CoalescedLines: 1, WriteFrac: 0.08,
+		PaperReplRatio: 0.65, PaperMissRate: 0.70,
+	})
+	register(Spec{
+		Name: "P-BICG", Suite: "PolyBench", Class: ReplicationSensitive,
+		Waves: 24, ComputePerMem: 2, BlockEvery: 3,
+		SharedLines: 1100, SharedFrac: 0.80, SharedZipf: 0.35,
+		PrivateLines: 250, CoalescedLines: 1, WriteFrac: 0.08,
+		PaperReplRatio: 0.65, PaperMissRate: 0.72,
+	})
+	register(Spec{
+		Name: "P-MVT", Suite: "PolyBench", Class: ReplicationSensitive,
+		Waves: 24, ComputePerMem: 2, BlockEvery: 3,
+		SharedLines: 950, SharedFrac: 0.75, SharedZipf: 0.35,
+		PrivateLines: 250, CoalescedLines: 1, WriteFrac: 0.08,
+		PaperReplRatio: 0.60, PaperMissRate: 0.68,
+	})
+	register(Spec{
+		Name: "P-GESUMMV", Suite: "PolyBench", Class: ReplicationSensitive,
+		Waves: 24, ComputePerMem: 2, BlockEvery: 3,
+		SharedLines: 1300, SharedFrac: 0.82, SharedZipf: 0.30,
+		PrivateLines: 250, CoalescedLines: 1, WriteFrac: 0.08,
+		PaperReplRatio: 0.70, PaperMissRate: 0.75,
+	})
+	register(Spec{
+		// Replication-sensitive AND peak-L1-bandwidth sensitive: loses 3%
+		// under Sh40, only gains (+31%) once NoC#1 is frequency-boosted.
+		Name: "P-3DCONV", Suite: "PolyBench", Class: ReplicationSensitive,
+		Waves: 48, ComputePerMem: 0, BlockEvery: 6,
+		SharedLines: 800, SharedFrac: 0.85, SharedZipf: 0.40,
+		PrivateLines: 1500, CoalescedLines: 2, WriteFrac: 0.10,
+		PaperReplRatio: 0.60, PaperMissRate: 0.65,
+	})
+
+	// ---- Poor-performing replication-insensitive (5) --------------------
+	register(Spec{
+		// High L1 hit rate + low occupancy: cannot hide the extra
+		// core↔DC-L1 latency (loses heavily under any DC-L1 design until
+		// the NoC#1 boost).
+		Name: "C-NN", Suite: "CUDA-SDK", Class: PoorPerforming,
+		Waves: 4, ComputePerMem: 1, BlockEvery: 1,
+		SharedLines: 0, SharedFrac: 0,
+		PrivateLines: 40, CoalescedLines: 1, WriteFrac: 0.05,
+		PaperReplRatio: 0.05, PaperMissRate: 0.10,
+	})
+	register(Spec{
+		// Partition camping: shared lines stride by 40 so one home DC-L1
+		// serves everything under Sh40.
+		Name: "C-RAY", Suite: "CUDA-SDK", Class: PoorPerforming,
+		Waves: 16, ComputePerMem: 2, BlockEvery: 1,
+		SharedLines: 3000, SharedFrac: 0.60, SharedZipf: 0.30, CampStride: 40,
+		PrivateLines: 120, CoalescedLines: 1, WriteFrac: 0.05,
+		PaperReplRatio: 0.15, PaperMissRate: 0.40,
+	})
+	register(Spec{
+		Name: "P-3MM", Suite: "PolyBench", Class: PoorPerforming,
+		Waves: 24, ComputePerMem: 2, BlockEvery: 1,
+		SharedLines: 2800, SharedFrac: 0.65, SharedZipf: 0.30, CampStride: 40,
+		PrivateLines: 100, CoalescedLines: 1, WriteFrac: 0.08,
+		PaperReplRatio: 0.20, PaperMissRate: 0.35,
+	})
+	register(Spec{
+		Name: "P-GEMM", Suite: "PolyBench", Class: PoorPerforming,
+		Waves: 24, ComputePerMem: 2, BlockEvery: 1,
+		SharedLines: 2600, SharedFrac: 0.68, SharedZipf: 0.30, CampStride: 40,
+		PrivateLines: 90, CoalescedLines: 1, WriteFrac: 0.08,
+		PaperReplRatio: 0.20, PaperMissRate: 0.32,
+	})
+	register(Spec{
+		// Peak-L1-bandwidth bound: high hit rate, no compute padding, wide
+		// coalescing. Drops ~49% under Sh40+C10; Boost restores it.
+		Name: "P-2DCONV", Suite: "PolyBench", Class: PoorPerforming,
+		Waves: 48, ComputePerMem: 0, BlockEvery: 8,
+		SharedLines: 0, SharedFrac: 0,
+		PrivateLines: 5, CoalescedLines: 2, WriteFrac: 0.10,
+		PaperReplRatio: 0.10, PaperMissRate: 0.20,
+	})
+
+	// ---- Remaining replication-insensitive (11) -------------------------
+	register(Spec{
+		// Zero replication, pure streaming, very latency tolerant.
+		Name: "C-BLK", Suite: "CUDA-SDK", Class: Insensitive,
+		Waves: 32, ComputePerMem: 4,
+		SharedLines: 0, SharedFrac: 0,
+		PrivateLines: 100000, CoalescedLines: 1, WriteFrac: 0.15,
+		PaperReplRatio: 0.0, PaperMissRate: 0.95,
+	})
+	register(Spec{
+		Name: "R-LUD", Suite: "Rodinia", Class: Insensitive,
+		Waves: 16, ComputePerMem: 3, BlockEvery: 4,
+		SharedLines: 300, SharedFrac: 0.20, SharedZipf: 0.60,
+		PrivateLines: 400, CoalescedLines: 1, WriteFrac: 0.10,
+		PaperReplRatio: 0.15, PaperMissRate: 0.45,
+	})
+	register(Spec{
+		// CTA imbalance: every 4th core gets 2x wavefronts; the shared
+		// DC-L1s smooth the resulting L1 hotspots (improves under Sh40).
+		Name: "R-SC", Suite: "Rodinia", Class: Insensitive,
+		Waves: 12, ComputePerMem: 1, BlockEvery: 3, Imbalance: 1.0,
+		SharedLines: 800, SharedFrac: 0.30, SharedZipf: 0.40,
+		PrivateLines: 1000, CoalescedLines: 1, WriteFrac: 0.10,
+		PaperReplRatio: 0.20, PaperMissRate: 0.60,
+	})
+	register(Spec{
+		Name: "R-BP", Suite: "Rodinia", Class: Insensitive,
+		Waves: 24, ComputePerMem: 3, BlockEvery: 4,
+		SharedLines: 400, SharedFrac: 0.30, SharedZipf: 0.50,
+		PrivateLines: 800, CoalescedLines: 1, WriteFrac: 0.15,
+		PaperReplRatio: 0.20, PaperMissRate: 0.55,
+	})
+	register(Spec{
+		Name: "R-HS", Suite: "Rodinia", Class: Insensitive,
+		Waves: 24, ComputePerMem: 4, BlockEvery: 4,
+		SharedLines: 200, SharedFrac: 0.10, SharedZipf: 0.60,
+		PrivateLines: 250, CoalescedLines: 1, WriteFrac: 0.10,
+		PaperReplRatio: 0.10, PaperMissRate: 0.25,
+	})
+	register(Spec{
+		Name: "R-KM", Suite: "Rodinia", Class: Insensitive,
+		Waves: 24, ComputePerMem: 2, BlockEvery: 4,
+		SharedLines: 256, SharedFrac: 0.40, SharedZipf: 1.00,
+		PrivateLines: 3000, CoalescedLines: 1, WriteFrac: 0.05,
+		PaperReplRatio: 0.25, PaperMissRate: 0.60,
+	})
+	register(Spec{
+		Name: "R-NW", Suite: "Rodinia", Class: Insensitive,
+		Waves: 16, ComputePerMem: 3, BlockEvery: 4,
+		SharedLines: 300, SharedFrac: 0.20, SharedZipf: 0.50,
+		PrivateLines: 600, CoalescedLines: 1, WriteFrac: 0.12,
+		PaperReplRatio: 0.15, PaperMissRate: 0.50,
+	})
+	register(Spec{
+		Name: "R-SRAD", Suite: "Rodinia", Class: Insensitive,
+		Waves: 32, ComputePerMem: 3, BlockEvery: 5,
+		SharedLines: 100, SharedFrac: 0.05,
+		PrivateLines: 5000, CoalescedLines: 1, WriteFrac: 0.15,
+		PaperReplRatio: 0.05, PaperMissRate: 0.80,
+	})
+	register(Spec{
+		Name: "S-MD", Suite: "SHOC", Class: Insensitive,
+		Waves: 24, ComputePerMem: 3, BlockEvery: 3,
+		SharedLines: 220, SharedFrac: 0.50, SharedZipf: 0.80,
+		PrivateLines: 700, CoalescedLines: 2, WriteFrac: 0.05,
+		PaperReplRatio: 0.25, PaperMissRate: 0.40,
+	})
+	register(Spec{
+		Name: "S-Scan", Suite: "SHOC", Class: Insensitive,
+		Waves: 32, ComputePerMem: 1, BlockEvery: 4,
+		SharedLines: 0, SharedFrac: 0,
+		PrivateLines: 20000, CoalescedLines: 1, WriteFrac: 0.30,
+		PaperReplRatio: 0.0, PaperMissRate: 0.90,
+	})
+	register(Spec{
+		Name: "S-SPMV", Suite: "SHOC", Class: Insensitive,
+		Waves: 24, ComputePerMem: 2, BlockEvery: 3,
+		SharedLines: 240, SharedFrac: 0.50, SharedZipf: 0.90,
+		PrivateLines: 4000, CoalescedLines: 2, WriteFrac: 0.05,
+		PaperReplRatio: 0.25, PaperMissRate: 0.65,
+	})
+}

@@ -1,0 +1,45 @@
+package workload
+
+// Parameter glossary — how each Spec field maps to a hardware-visible
+// behaviour, and the capacity anchors used to size the 28 applications on
+// the paper's 80-core machine.
+//
+// Capacity anchors (lines of 128 B):
+//
+//	one private L1 (baseline)      256   (32 KB)
+//	one DC-L1 node (40-node orgs)  512   (64 KB)
+//	one Sh40+C10 cluster          2048   (4 nodes)
+//	all L1s together             20480   (2.56 MB)
+//	one L2 slice                  1024   (128 KB), 32768 chip-wide
+//
+// Placement rules of thumb used by the app specs:
+//
+//	SharedLines < 256            baseline already hits; replication-insensitive
+//	256 < SharedLines < 2048     every aggregation level helps (C10 catches it)
+//	2048 < SharedLines < 20480   only the fully shared Sh40 dedups it
+//	                             (P-SYRK, S-Reduction: the paper's Sh40-only winners)
+//	SharedLines > 20480          nothing on chip holds it; DRAM-bound
+//
+// Behavioural levers:
+//
+//	SharedFrac       how much of the benefit dedup can capture
+//	SharedZipf       baseline hit rate on the shared region (hot-set size)
+//	PrivateLines     per-wavefront streaming footprint; W×PrivateLines per
+//	                 core decides whether private traffic hits L1 (<3/core),
+//	                 L2, or streams to DRAM
+//	CampStride=40    all camped lines take one home under Sh40 and one home
+//	                 per cluster under C10 (partition camping, Section V-B);
+//	                 CampFrac dilutes it
+//	Waves            latency tolerance (multithreading depth)
+//	BlockEvery       load-use fences; 1 = every load blocks (C-NN's latency
+//	                 sensitivity)
+//	ComputePerMem    memory intensity; 0 = every-cycle memory (the
+//	                 bandwidth-bound 2D/3DCONV kernels)
+//	CoalescedLines   transactions per instruction (port/bandwidth pressure)
+//	Imbalance        extra wavefronts on every 4th core (R-SC's CTA skew)
+//
+// The private stream of every wavefront starts at a random offset within its
+// region and regions are spaced by an odd stride: with lockstep round-robin
+// issue, aligned streams would otherwise march through the same L2
+// slice/memory channel residue on every cycle chip-wide (a convoy that
+// throttled early versions of this simulator to 1/32 of its memory system).

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"strings"
+
+	"dcl1sim/internal/core"
+)
+
+// Partition runs different applications on disjoint core ranges — the
+// concurrent-kernel (multiprogramming) scenario. It is a natural extension
+// study for the clustered DC-L1 design: when partition boundaries align with
+// cluster boundaries, one application's working set cannot evict another's,
+// whereas the fully shared organization mixes them.
+type Partition struct {
+	// Apps are assigned to cores round-robin by contiguous blocks:
+	// core c runs Apps[c * len(Apps) / cores].
+	Apps []Spec
+}
+
+var _ Source = Partition{}
+
+// Label implements Source.
+func (p Partition) Label() string {
+	names := make([]string, len(p.Apps))
+	for i, a := range p.Apps {
+		names[i] = a.Name
+	}
+	return strings.Join(names, "+")
+}
+
+// appFor returns the spec covering a core, given the machine core count.
+// Because Source.WavesFor does not receive the core count, Partition assumes
+// block boundaries at multiples of blockCores (set by NewPartition).
+type partitioned struct {
+	Partition
+	blockCores int
+}
+
+// NewPartition builds a Partition source for a machine with `cores` cores,
+// splitting them into equal contiguous blocks, one per app. It panics when
+// apps is empty or cores < len(apps).
+func NewPartition(cores int, apps ...Spec) Source {
+	if len(apps) == 0 {
+		panic("workload: NewPartition needs at least one app")
+	}
+	if cores < len(apps) {
+		panic("workload: fewer cores than partitions")
+	}
+	return partitioned{Partition: Partition{Apps: apps}, blockCores: cores / len(apps)}
+}
+
+func (p partitioned) appFor(coreID int) Spec {
+	i := coreID / p.blockCores
+	if i >= len(p.Apps) {
+		i = len(p.Apps) - 1
+	}
+	return p.Apps[i]
+}
+
+// WavesFor implements Source.
+func (p partitioned) WavesFor(coreID int) int {
+	return p.appFor(coreID).WavesFor(coreID)
+}
+
+// Program implements Source. Each app keeps its own shared region: the seed
+// is offset by the partition index so different apps never collide in the
+// shared address space, and the private regions are disjoint by construction
+// (per core/wave slots).
+func (p partitioned) Program(cores, coreID, waveID int, sched Sched, seed uint64) core.Program {
+	idx := coreID / p.blockCores
+	if idx >= len(p.Apps) {
+		idx = len(p.Apps) - 1
+	}
+	spec := p.Apps[idx]
+	// Shift the shared region per partition so applications do not share
+	// lines with each other.
+	shifted := spec
+	shifted.shiftShared = uint64(idx) * (1 << 24)
+	return shifted.Program(cores, coreID, waveID, sched, seed+uint64(idx)*977)
+}
+
+// Partition implements Source directly too (blockCores derived lazily per
+// call via the cores argument) — but WavesFor lacks the core count, so the
+// explicit NewPartition constructor is the supported path.
+func (p Partition) WavesFor(coreID int) int {
+	if len(p.Apps) == 0 {
+		return 0
+	}
+	return p.Apps[0].WavesFor(coreID)
+}
+
+// Program implements Source for the raw Partition (equal blocks).
+func (p Partition) Program(cores, coreID, waveID int, sched Sched, seed uint64) core.Program {
+	return NewPartition(cores, p.Apps...).Program(cores, coreID, waveID, sched, seed)
+}

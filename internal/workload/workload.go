@@ -1,0 +1,358 @@
+// Package workload provides synthetic trace generators standing in for the
+// paper's 28 GPGPU applications (CUDA-SDK, Rodinia, SHOC, PolyBench, Tango).
+//
+// We cannot run the original CUDA binaries (no GPU simulator ecosystem in
+// Go, no traces), so each application is modeled by the memory-access
+// *structure* its published fingerprint implies — the quantities the DC-L1
+// designs actually react to:
+//
+//   - SharedLines/SharedFrac/SharedZipf: the inter-core shared working set
+//     (drives the replication ratio of Fig 1 and the gains of aggregation);
+//   - PrivateLines: per-wavefront streaming footprint (capacity-insensitive
+//     misses);
+//   - CampStride: address-space striding that collapses onto few home DC-L1s
+//     (partition camping: C-RAY, P-3MM, P-GEMM, P-2MM);
+//   - Waves/BlockEvery/ComputePerMem: occupancy and latency tolerance
+//     (C-NN's sensitivity to the extra core↔DC-L1 hops);
+//   - CoalescedLines and the compute:memory ratio: L1 bandwidth demand
+//     (P-2DCONV / P-3DCONV peak-bandwidth sensitivity);
+//   - Imbalance: CTA-distribution skew (R-SC).
+//
+// The generator is deterministic per (app, core, wavefront, seed).
+package workload
+
+import (
+	"sort"
+
+	"dcl1sim/internal/core"
+	"dcl1sim/internal/sim"
+)
+
+// Sched selects the CTA scheduling policy (Section VIII-A sensitivity).
+type Sched uint8
+
+// Schedulers. RoundRobin spreads consecutive CTAs across cores, so CTA-local
+// sharing becomes inter-core sharing (maximum replication). Distributed maps
+// nearby CTAs to the same core, converting part of that sharing into
+// intra-core reuse.
+const (
+	RoundRobin Sched = iota
+	Distributed
+)
+
+// Class labels the paper's application taxonomy.
+type Class uint8
+
+// Application classes (Fig 1, Fig 9, Fig 13a).
+const (
+	// ReplicationSensitive: repl > 25%, miss > 50%, >5% speedup at 16x L1.
+	ReplicationSensitive Class = iota
+	// PoorPerforming: replication-insensitive apps that suffer badly under
+	// the fully-shared Sh40 (C-NN, C-RAY, P-3MM, P-GEMM, P-2DCONV).
+	PoorPerforming
+	// Insensitive: the remaining replication-insensitive applications.
+	Insensitive
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ReplicationSensitive:
+		return "replication-sensitive"
+	case PoorPerforming:
+		return "poor-performing"
+	case Insensitive:
+		return "insensitive"
+	default:
+		return "unknown"
+	}
+}
+
+// Source supplies the instruction streams of a workload: the synthetic Spec
+// below, or a recorded trace (package trace) replayed wavefront by
+// wavefront. The gpu package runs any Source.
+type Source interface {
+	// Label names the workload in results.
+	Label() string
+	// WavesFor returns the wavefront count of one core.
+	WavesFor(coreID int) int
+	// Program returns the instruction stream of one wavefront.
+	Program(cores, coreID, waveID int, sched Sched, seed uint64) core.Program
+}
+
+// Spec defines one synthetic application.
+type Spec struct {
+	Name  string
+	Suite string
+	Class Class
+
+	// Occupancy and instruction mix.
+	Waves         int       // wavefronts per core
+	ComputePerMem int       // compute ops between memory ops
+	ComputeLat    sim.Cycle // compute pipeline latency
+	BlockEvery    int       // every k-th memory op is load-use blocking (0 = never)
+	BarrierEvery  int       // a CTA barrier after every k-th memory op (0 = never)
+
+	// Shared (inter-core) region.
+	SharedLines int     // footprint in cache lines
+	SharedFrac  float64 // fraction of memory ops hitting the shared region
+	SharedZipf  float64 // reuse skew within the shared region
+	CampStride  int     // line stride (>1 collapses homes: partition camping)
+	CampFrac    float64 // fraction of shared draws that camp (0 = all, when CampStride>1)
+
+	// Private (per-wavefront) streaming region.
+	PrivateLines int
+
+	// Coalescing and payload.
+	CoalescedLines int // lines per memory instruction
+	Bytes          int // bytes needed per line (NoC#1 reply payload)
+
+	// Traffic mix.
+	WriteFrac  float64
+	NonL1Frac  float64
+	AtomicFrac float64
+
+	// Imbalance adds extra wavefronts to every 4th core (R-SC's skewed CTA
+	// distribution): 1.0 doubles those cores' wavefronts.
+	Imbalance float64
+
+	// Paper fingerprint (Fig 1), recorded for EXPERIMENTS.md comparisons.
+	// Values are approximate readings of the figure.
+	PaperReplRatio float64
+	PaperMissRate  float64
+
+	// shiftShared relocates the shared region (multiprogram partitions give
+	// each co-running application a disjoint shared footprint).
+	shiftShared uint64
+}
+
+// Label implements Source.
+func (s Spec) Label() string { return s.Name }
+
+// WavesFor returns the wavefront count for a core under this spec.
+func (s Spec) WavesFor(coreID int) int {
+	w := s.Waves
+	if w <= 0 {
+		w = 16
+	}
+	if s.Imbalance > 0 && coreID%4 == 0 {
+		w += int(float64(w) * s.Imbalance)
+	}
+	return w
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Waves <= 0 {
+		s.Waves = 16
+	}
+	if s.ComputeLat <= 0 {
+		s.ComputeLat = 4
+	}
+	if s.CoalescedLines <= 0 {
+		s.CoalescedLines = 1
+	}
+	if s.Bytes <= 0 {
+		s.Bytes = 32
+	}
+	if s.CampStride <= 0 {
+		s.CampStride = 1
+	}
+	if s.CampStride > 1 && s.CampFrac <= 0 {
+		s.CampFrac = 1
+	}
+	if s.PrivateLines <= 0 {
+		s.PrivateLines = 1
+	}
+	return s
+}
+
+// Address-space layout (line numbers). Regions are disjoint by construction.
+const (
+	sharedRegionBase  = uint64(1) << 20
+	nonL1RegionBase   = uint64(1) << 28
+	privateRegionBase = uint64(1) << 30
+	nonL1Lines        = 64
+	maxWaveSlots      = 256 // private-region slots per core
+)
+
+// Program returns the deterministic instruction stream of one wavefront.
+// cores is the machine's core count (needed by the Distributed scheduler to
+// slice the shared region), and seed decorrelates independent runs.
+func (s Spec) Program(cores, coreID, waveID int, sched Sched, seed uint64) core.Program {
+	sp := s.withDefaults()
+	h := seed
+	h = h*1099511628211 + uint64(coreID)
+	h = h*1099511628211 + uint64(waveID)
+	for _, ch := range sp.Name {
+		h = h*1099511628211 + uint64(ch)
+	}
+	g := &gen{
+		spec:  sp,
+		cores: cores,
+		core:  coreID,
+		wave:  waveID,
+		sched: sched,
+		rng:   sim.NewRNG(h),
+	}
+	slot := uint64(coreID*maxWaveSlots + waveID)
+	// Region spacing is forced odd and the stream starts at a random offset:
+	// otherwise every wavefront's k-th access shares one address residue and
+	// the whole machine convoys on a single L2 slice / memory channel.
+	spacing := uint64(sp.PrivateLines + 65)
+	spacing |= 1
+	g.privBase = privateRegionBase + slot*spacing
+	g.privCursor = g.rng.Uint64() % uint64(sp.PrivateLines)
+	return g
+}
+
+type gen struct {
+	spec  Spec
+	cores int
+	core  int
+	wave  int
+	sched Sched
+	rng   *sim.RNG
+
+	privBase    uint64
+	privCursor  uint64
+	memCount    int64
+	computeLeft int
+	primed      bool
+	barrierDone bool
+}
+
+// Next implements core.Program. The stream is infinite: runs use fixed
+// measurement windows, not program completion.
+func (g *gen) Next() core.Op {
+	if !g.primed {
+		g.primed = true
+		g.computeLeft = g.spec.ComputePerMem
+	}
+	if g.computeLeft > 0 {
+		g.computeLeft--
+		return core.Op{Kind: core.OpCompute, Latency: g.spec.ComputeLat}
+	}
+	if g.spec.BarrierEvery > 0 && g.memCount > 0 &&
+		g.memCount%int64(g.spec.BarrierEvery) == 0 && !g.barrierDone {
+		g.barrierDone = true
+		return core.Op{Kind: core.OpBarrier}
+	}
+	g.barrierDone = false
+	g.computeLeft = g.spec.ComputePerMem
+	return g.memOp()
+}
+
+func (g *gen) memOp() core.Op {
+	g.memCount++
+	r := g.rng.Float64()
+	kind := core.OpLoad
+	switch {
+	case r < g.spec.NonL1Frac:
+		kind = core.OpNonL1
+	case r < g.spec.NonL1Frac+g.spec.AtomicFrac:
+		kind = core.OpAtomic
+	case r < g.spec.NonL1Frac+g.spec.AtomicFrac+g.spec.WriteFrac:
+		kind = core.OpStore
+	}
+	if kind == core.OpNonL1 {
+		line := nonL1RegionBase + uint64(g.rng.Intn(nonL1Lines))
+		return core.Op{Kind: kind, Lines: []uint64{line}, Bytes: mem128()}
+	}
+	lines := g.dataLines()
+	blocking := false
+	if kind == core.OpLoad && g.spec.BlockEvery > 0 && g.memCount%int64(g.spec.BlockEvery) == 0 {
+		blocking = true
+	}
+	return core.Op{Kind: kind, Lines: lines, Bytes: g.spec.Bytes, Blocking: blocking}
+}
+
+func mem128() int { return 128 }
+
+// dataLines draws the coalesced target lines of one memory instruction.
+func (g *gen) dataLines() []uint64 {
+	n := g.spec.CoalescedLines
+	lines := make([]uint64, 0, n)
+	if g.spec.SharedLines > 0 && g.rng.Float64() < g.spec.SharedFrac {
+		idx := g.sharedIndex()
+		stride := uint64(1)
+		if g.spec.CampStride > 1 && g.rng.Float64() < g.spec.CampFrac {
+			stride = uint64(g.spec.CampStride)
+		}
+		base := sharedRegionBase + g.spec.shiftShared
+		for i := 0; i < n; i++ {
+			j := (idx + i) % g.spec.SharedLines
+			lines = append(lines, base+uint64(j)*stride)
+		}
+		return lines
+	}
+	// Private streaming: sequential lines with wrap-around.
+	for i := 0; i < n; i++ {
+		lines = append(lines, g.privBase+(g.privCursor%uint64(g.spec.PrivateLines)))
+		g.privCursor++
+	}
+	return lines
+}
+
+// sharedIndex picks an index in the shared region. Under the Distributed
+// scheduler, half the draws come from a per-core slice: nearby CTAs (mapped
+// to the same core) share data, so part of the inter-core sharing becomes
+// core-local.
+func (g *gen) sharedIndex() int {
+	s := g.spec.SharedLines
+	if g.sched == Distributed && g.rng.Float64() < 0.5 {
+		per := s / g.cores
+		if per < 1 {
+			per = 1
+		}
+		base := (g.core * per) % s
+		return (base + g.rng.Zipf(per, g.spec.SharedZipf)) % s
+	}
+	return g.rng.Zipf(s, g.spec.SharedZipf)
+}
+
+// registry --------------------------------------------------------------
+
+var registry []Spec
+
+func register(s Spec) { registry = append(registry, s) }
+
+// Apps returns all application specs, sorted by name.
+func Apps() []Spec {
+	out := make([]Spec, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName finds a spec.
+func ByName(name string) (Spec, bool) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// ByClass returns the specs of one class, sorted by name.
+func ByClass(c Class) []Spec {
+	var out []Spec
+	for _, s := range Apps() {
+		if s.Class == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Sensitive returns the 12 replication-sensitive applications.
+func Sensitive() []Spec { return ByClass(ReplicationSensitive) }
+
+// Poor returns the 5 poor-performing replication-insensitive applications.
+func Poor() []Spec { return ByClass(PoorPerforming) }
+
+// InsensitiveApps returns every replication-insensitive application
+// (PoorPerforming plus Insensitive).
+func InsensitiveApps() []Spec {
+	return append(Poor(), ByClass(Insensitive)...)
+}

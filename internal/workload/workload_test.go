@@ -1,0 +1,306 @@
+package workload
+
+import (
+	"testing"
+
+	"dcl1sim/internal/core"
+)
+
+func TestRegistryHas28Apps(t *testing.T) {
+	apps := Apps()
+	if len(apps) != 28 {
+		t.Fatalf("registry has %d apps, want 28", len(apps))
+	}
+	names := map[string]bool{}
+	for _, a := range apps {
+		if names[a.Name] {
+			t.Fatalf("duplicate app %s", a.Name)
+		}
+		names[a.Name] = true
+		if a.Suite == "" {
+			t.Fatalf("%s missing suite", a.Name)
+		}
+	}
+}
+
+func TestClassCounts(t *testing.T) {
+	if n := len(Sensitive()); n != 12 {
+		t.Fatalf("replication-sensitive = %d, want 12", n)
+	}
+	if n := len(Poor()); n != 5 {
+		t.Fatalf("poor-performing = %d, want 5", n)
+	}
+	if n := len(InsensitiveApps()); n != 16 {
+		t.Fatalf("insensitive total = %d, want 16", n)
+	}
+}
+
+func TestPoorPerformersAreThePaperFive(t *testing.T) {
+	want := map[string]bool{"C-NN": true, "C-RAY": true, "P-3MM": true, "P-GEMM": true, "P-2DCONV": true}
+	for _, s := range Poor() {
+		if !want[s.Name] {
+			t.Fatalf("unexpected poor performer %s", s.Name)
+		}
+		delete(want, s.Name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing poor performers: %v", want)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("T-AlexNet")
+	if !ok || s.Suite != "Tango" {
+		t.Fatalf("ByName failed: %+v %v", s, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName on unknown app succeeded")
+	}
+}
+
+func TestProgramDeterminism(t *testing.T) {
+	s, _ := ByName("C-BFS")
+	p1 := s.Program(80, 3, 5, RoundRobin, 42)
+	p2 := s.Program(80, 3, 5, RoundRobin, 42)
+	for i := 0; i < 500; i++ {
+		a, b := p1.Next(), p2.Next()
+		if a.Kind != b.Kind || len(a.Lines) != len(b.Lines) {
+			t.Fatalf("programs diverge at op %d", i)
+		}
+		for j := range a.Lines {
+			if a.Lines[j] != b.Lines[j] {
+				t.Fatalf("addresses diverge at op %d", i)
+			}
+		}
+	}
+	// Different wavefront → different stream.
+	p3 := s.Program(80, 3, 6, RoundRobin, 42)
+	same := true
+	p1b := s.Program(80, 3, 5, RoundRobin, 42)
+	for i := 0; i < 100; i++ {
+		a, b := p1b.Next(), p3.Next()
+		if a.Kind != b.Kind {
+			same = false
+			break
+		}
+		if a.Kind == core.OpLoad && len(a.Lines) > 0 && len(b.Lines) > 0 && a.Lines[0] != b.Lines[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different wavefronts produced identical streams")
+	}
+}
+
+func TestComputeMemMix(t *testing.T) {
+	s, _ := ByName("R-HS") // ComputePerMem = 4
+	p := s.Program(80, 0, 0, RoundRobin, 1)
+	comp, memo := 0, 0
+	for i := 0; i < 1000; i++ {
+		op := p.Next()
+		if op.Kind == core.OpCompute {
+			comp++
+		} else {
+			memo++
+		}
+	}
+	ratio := float64(comp) / float64(memo)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("compute:mem = %f, want ~4", ratio)
+	}
+}
+
+func TestSharedVsPrivateSplit(t *testing.T) {
+	s, _ := ByName("T-AlexNet") // SharedFrac = 0.97
+	p := s.Program(80, 1, 1, RoundRobin, 7)
+	shared, private := 0, 0
+	for i := 0; i < 5000; i++ {
+		op := p.Next()
+		if op.Kind != core.OpLoad && op.Kind != core.OpStore {
+			continue
+		}
+		if op.Lines[0] >= privateRegionBase {
+			private++
+		} else if op.Lines[0] >= sharedRegionBase && op.Lines[0] < nonL1RegionBase {
+			shared++
+		}
+	}
+	frac := float64(shared) / float64(shared+private)
+	if frac < 0.90 || frac > 1.0 {
+		t.Fatalf("shared fraction = %f, want ~0.97", frac)
+	}
+}
+
+func TestSharedRegionIsInterCore(t *testing.T) {
+	// Two cores' programs must overlap heavily in the shared region: that is
+	// what creates replication across private L1s.
+	s, _ := ByName("C-BFS")
+	seen := map[uint64]int{}
+	for c := 0; c < 2; c++ {
+		p := s.Program(80, c, 0, RoundRobin, 3)
+		mask := 1 << c
+		for i := 0; i < 3000; i++ {
+			op := p.Next()
+			if op.Kind == core.OpCompute {
+				continue
+			}
+			for _, l := range op.Lines {
+				if l >= sharedRegionBase && l < nonL1RegionBase {
+					seen[l] |= mask
+				}
+			}
+		}
+	}
+	both := 0
+	for _, m := range seen {
+		if m == 3 {
+			both++
+		}
+	}
+	if both < 100 {
+		t.Fatalf("only %d lines shared between cores", both)
+	}
+}
+
+func TestPrivateRegionsDisjointAcrossWaves(t *testing.T) {
+	s, _ := ByName("C-BLK") // pure private
+	lines := map[uint64]int{}
+	for w := 0; w < 3; w++ {
+		p := s.Program(80, 2, w, RoundRobin, 9)
+		for i := 0; i < 500; i++ {
+			op := p.Next()
+			if op.Kind == core.OpCompute {
+				continue
+			}
+			for _, l := range op.Lines {
+				if prev, ok := lines[l]; ok && prev != w {
+					t.Fatalf("line %d shared between waves %d and %d", l, prev, w)
+				}
+				lines[l] = w
+			}
+		}
+	}
+}
+
+func TestCampStrideCollapsesHomes(t *testing.T) {
+	s, _ := ByName("C-RAY") // CampStride = 40
+	p := s.Program(80, 0, 0, RoundRobin, 5)
+	homes := map[uint64]bool{}
+	n := 0
+	for i := 0; i < 5000 && n < 500; i++ {
+		op := p.Next()
+		if op.Kind == core.OpCompute {
+			continue
+		}
+		for _, l := range op.Lines {
+			if l >= sharedRegionBase && l < nonL1RegionBase {
+				homes[l%40] = true
+				n++
+			}
+		}
+	}
+	if len(homes) != 1 {
+		t.Fatalf("camping app touches %d of 40 homes, want 1", len(homes))
+	}
+}
+
+func TestBlockingCadence(t *testing.T) {
+	s, _ := ByName("C-NN") // BlockEvery = 1: every load blocks
+	p := s.Program(80, 0, 0, RoundRobin, 11)
+	for i := 0; i < 200; i++ {
+		op := p.Next()
+		if op.Kind == core.OpLoad && !op.Blocking {
+			t.Fatal("C-NN loads must all be blocking")
+		}
+	}
+}
+
+func TestImbalanceWaves(t *testing.T) {
+	s, _ := ByName("R-SC")
+	if s.WavesFor(0) <= s.WavesFor(1) {
+		t.Fatalf("core 0 must get extra waves: %d vs %d", s.WavesFor(0), s.WavesFor(1))
+	}
+	flat, _ := ByName("C-BLK")
+	if flat.WavesFor(0) != flat.WavesFor(1) {
+		t.Fatal("balanced app must have equal waves")
+	}
+}
+
+func TestDistributedSchedulerLocalizesSharing(t *testing.T) {
+	// Under Distributed, a core's shared draws must concentrate on its own
+	// slice more than under RoundRobin.
+	s, _ := ByName("T-AlexNet")
+	count := func(sched Sched) int {
+		p := s.Program(80, 10, 0, sched, 21)
+		per := s.SharedLines / 80
+		lo := uint64(10 * per)
+		hi := lo + uint64(per)
+		in := 0
+		for i := 0; i < 4000; i++ {
+			op := p.Next()
+			if op.Kind == core.OpCompute {
+				continue
+			}
+			l := op.Lines[0]
+			if l < sharedRegionBase || l >= nonL1RegionBase {
+				continue
+			}
+			idx := l - sharedRegionBase
+			if idx >= lo && idx < hi {
+				in++
+			}
+		}
+		return in
+	}
+	rr, dist := count(RoundRobin), count(Distributed)
+	if dist < rr*5 {
+		t.Fatalf("distributed scheduler not localizing: rr=%d dist=%d", rr, dist)
+	}
+}
+
+func TestNonL1Traffic(t *testing.T) {
+	s := Spec{Name: "x", Waves: 8, NonL1Frac: 0.5, PrivateLines: 100, SharedLines: 0}
+	p := s.Program(8, 0, 0, RoundRobin, 3)
+	non, data := 0, 0
+	for i := 0; i < 2000; i++ {
+		op := p.Next()
+		switch op.Kind {
+		case core.OpNonL1:
+			non++
+			if op.Lines[0] < nonL1RegionBase || op.Lines[0] >= privateRegionBase {
+				t.Fatal("non-L1 line outside its region")
+			}
+		case core.OpLoad, core.OpStore:
+			data++
+		}
+	}
+	frac := float64(non) / float64(non+data)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("non-L1 fraction = %f", frac)
+	}
+}
+
+func TestFingerprintsRecorded(t *testing.T) {
+	for _, s := range Sensitive() {
+		if s.PaperReplRatio < 0.25 {
+			t.Errorf("%s: replication-sensitive app with paper repl %.2f < 0.25", s.Name, s.PaperReplRatio)
+		}
+		if s.PaperMissRate < 0.5 {
+			t.Errorf("%s: replication-sensitive app with paper miss %.2f < 0.5", s.Name, s.PaperMissRate)
+		}
+	}
+}
+
+func TestCoalescedLineCount(t *testing.T) {
+	s, _ := ByName("C-BFS") // CoalescedLines = 4
+	p := s.Program(80, 0, 0, RoundRobin, 13)
+	for i := 0; i < 500; i++ {
+		op := p.Next()
+		if op.Kind == core.OpLoad || op.Kind == core.OpStore {
+			if len(op.Lines) != 4 {
+				t.Fatalf("coalesced lines = %d, want 4", len(op.Lines))
+			}
+		}
+	}
+}

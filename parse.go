@@ -1,0 +1,75 @@
+package dcl1
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseDesign parses the paper's design names used throughout the CLI tools:
+// Baseline, Pr40, Sh40, Sh40+C10, Sh40+C10+Boost, CDXBar, CDXBar+2xNoC1,
+// CDXBar+2xNoC, SingleL1, plus the study modifiers +PerfectL1, +NxL1
+// (capacity scale), and Baseline+2xNoC.
+func ParseDesign(s string) (Design, error) {
+	var d Design
+	parts := strings.Split(s, "+")
+	head := parts[0]
+	switch {
+	case head == "Baseline":
+		d.Kind = Baseline
+	case head == "SingleL1":
+		d.Kind = SingleL1
+	case head == "CDXBar":
+		d.Kind = CDXBar
+	case head == "MeshBase":
+		d.Kind = MeshBase
+	case strings.HasPrefix(head, "Pr"):
+		d.Kind = Private
+		n, err := strconv.Atoi(head[2:])
+		if err != nil {
+			return d, fmt.Errorf("bad design %q", s)
+		}
+		d.DCL1s = n
+	case strings.HasPrefix(head, "Sh"):
+		d.Kind = Shared
+		n, err := strconv.Atoi(head[2:])
+		if err != nil {
+			return d, fmt.Errorf("bad design %q", s)
+		}
+		d.DCL1s = n
+	default:
+		return d, fmt.Errorf("unknown design %q", s)
+	}
+	for _, p := range parts[1:] {
+		switch {
+		case p == "Boost":
+			d.Boost1 = true
+		case p == "2xNoC1":
+			d.CDXBoostS1 = true
+		case p == "2xNoC":
+			if d.Kind == Baseline {
+				d.NoCBoost = true
+			} else {
+				d.CDXBoostAll = true
+			}
+		case p == "PerfectL1":
+			d.PerfectL1 = true
+		case strings.HasPrefix(p, "C"):
+			n, err := strconv.Atoi(p[1:])
+			if err != nil {
+				return d, fmt.Errorf("bad cluster count %q", p)
+			}
+			d.Kind = Clustered
+			d.Clusters = n
+		case strings.HasSuffix(p, "xL1"):
+			n, err := strconv.Atoi(strings.TrimSuffix(p, "xL1"))
+			if err != nil {
+				return d, fmt.Errorf("bad capacity scale %q", p)
+			}
+			d.L1CapacityScale = n
+		default:
+			return d, fmt.Errorf("unknown design modifier %q", p)
+		}
+	}
+	return d, nil
+}

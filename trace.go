@@ -1,0 +1,49 @@
+package dcl1
+
+import (
+	"io"
+
+	"dcl1sim/internal/gpu"
+	"dcl1sim/internal/trace"
+	"dcl1sim/internal/workload"
+)
+
+// Workload is anything that can supply instruction streams to the simulated
+// cores: a synthetic AppSpec or a recorded Trace.
+type Workload = workload.Source
+
+// Trace is a recorded workload that can be replayed through any design.
+type Trace = trace.Trace
+
+// RunWorkload is Run for any Workload (AppSpec, Trace, or Partition).
+func RunWorkload(cfg Config, d Design, w Workload) Results {
+	return runSource(cfg, d, w)
+}
+
+// NewPartition builds a multiprogram workload: the machine's cores are split
+// into equal contiguous blocks, one application per block (the
+// concurrent-kernel scenario). Aligning block boundaries with DC-L1 cluster
+// boundaries isolates the co-running applications' working sets.
+func NewPartition(cores int, apps ...AppSpec) Workload {
+	return workload.NewPartition(cores, apps...)
+}
+
+// Job is one simulation in a batch sweep.
+type Job = gpu.Job
+
+// RunBatch executes independent simulations across worker goroutines
+// (workers <= 0 uses GOMAXPROCS) and returns results in job order. Each
+// simulation stays deterministic.
+func RunBatch(jobs []Job, workers int) []Results { return gpu.RunMany(jobs, workers) }
+
+// CaptureTrace materializes opsPerWave operations of a workload into a
+// portable trace for a machine with the given core count.
+func CaptureTrace(w Workload, cores, opsPerWave int, sched Scheduler, seed uint64) *Trace {
+	return trace.Capture(w, cores, opsPerWave, sched, seed)
+}
+
+// WriteTrace serializes a trace (format documented in internal/trace).
+func WriteTrace(w io.Writer, t *Trace) error { return trace.Write(w, t) }
+
+// ReadTrace deserializes a trace.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
