@@ -54,7 +54,12 @@ func main() {
 		a.PaperReplRatio*100, a.PaperMissRate*100)
 
 	if *measure {
-		r := dcl1.Run(dcl1.Config{}, dcl1.Design{Kind: dcl1.Baseline}, a)
+		r, err := dcl1.RunChecked(dcl1.Config{}, dcl1.Design{Kind: dcl1.Baseline}, a, dcl1.HealthOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			dcl1.WriteHealthDump(os.Stderr, err)
+			os.Exit(1)
+		}
 		fmt.Printf("measured baseline:         replication %.0f%%, miss %.0f%% (IPC %.2f)\n",
 			r.ReplicationRatio*100, r.L1MissRate*100, r.IPC)
 	}

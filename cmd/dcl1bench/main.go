@@ -27,6 +27,9 @@ func main() {
 		verbose = flag.Bool("v", false, "print each simulation as it runs")
 		format  = flag.String("format", "text", "output format: text or md")
 		plot    = flag.Bool("plot", false, "also render ASCII S-curves for single-metric experiments")
+
+		deadline    = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
+		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
 	)
 	flag.Parse()
 
@@ -46,6 +49,8 @@ func main() {
 	if *verbose {
 		ctx.Progress = os.Stderr
 	}
+	ctx.Health.Deadline = *deadline
+	ctx.Health.StallWindow = *stallWindow
 
 	var ids []string
 	if *run == "all" {
@@ -75,5 +80,12 @@ func main() {
 				fmt.Println()
 			}
 		}
+	}
+	if fails := ctx.Failures(); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "%d simulation(s) failed health checks:\n", len(fails))
+		for _, f := range fails {
+			fmt.Fprintf(os.Stderr, "  %s on %s: %v\n", f.App, f.Design, f.Err)
+		}
+		os.Exit(1)
 	}
 }

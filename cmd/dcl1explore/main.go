@@ -24,6 +24,9 @@ func main() {
 		boost   = flag.Bool("boost", true, "boost NoC#1 to 2x where the crossbars allow it")
 		cycles  = flag.Int64("cycles", 16000, "measurement window in core cycles")
 		warmup  = flag.Int64("warmup", 8000, "warmup window in core cycles")
+
+		deadline    = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
+		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
 	)
 	flag.Parse()
 
@@ -33,8 +36,18 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := dcl1.Config{MeasureCycles: sim.Cycle(*cycles), WarmupCycles: sim.Cycle(*warmup)}
+	opts := dcl1.HealthOptions{StallWindow: sim.Cycle(*stallWindow), Deadline: *deadline}
+	checkedRun := func(d dcl1.Design) dcl1.Results {
+		r, err := dcl1.RunChecked(cfg, d, app, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", d.Name(), err)
+			dcl1.WriteHealthDump(os.Stderr, err)
+			os.Exit(1)
+		}
+		return r
+	}
 
-	base := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+	base := checkedRun(dcl1.Design{Kind: dcl1.Baseline})
 	baseNoC := dcl1.DesignNoC(cfg, dcl1.Design{Kind: dcl1.Baseline})
 	fmt.Printf("app %s: baseline IPC %.2f, miss %.2f, replication %.2f\n\n",
 		app.Name, base.IPC, base.L1MissRate, base.ReplicationRatio)
@@ -87,7 +100,7 @@ func main() {
 			fmt.Printf("%-18s %8s\n", p.d.Name(), "infeasible (fmax)")
 			continue
 		}
-		r := dcl1.Run(cfg, p.d, app)
+		r := checkedRun(p.d)
 		noc := dcl1.DesignNoC(cfg, p.d)
 		p.speed = r.IPC / base.IPC
 		p.miss = r.L1MissRate

@@ -5,6 +5,11 @@
 //
 //	dcl1sim -app T-AlexNet -design Sh40+C10+Boost [-cores 80] [-cycles 40000]
 //	dcl1sim -list
+//
+// Runs execute under the simulation health layer: a wedged run aborts with a
+// deadlock diagnosis instead of hanging, -deadline bounds wall-clock time,
+// and failures exit non-zero with a diagnostic dump (-health-dump redirects
+// the dump to a file).
 package main
 
 import (
@@ -12,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dcl1sim"
 	"dcl1sim/internal/sim"
@@ -29,6 +35,10 @@ func main() {
 		list    = flag.Bool("list", false, "list applications and exit")
 		cfgPath = flag.String("config", "", "machine configuration JSON file (overrides other machine flags)")
 		asJSON  = flag.Bool("json", false, "emit results as JSON")
+
+		deadline    = flag.Duration("deadline", 0, "wall-clock bound for the run (0 = none)")
+		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
+		dumpPath    = flag.String("health-dump", "", "write the diagnostic dump of a failed run to this file (default stderr)")
 	)
 	flag.Parse()
 
@@ -75,7 +85,16 @@ func main() {
 		cfg.Sched = dcl1.Distributed
 	}
 
-	r := dcl1.Run(cfg, d, app)
+	opts := dcl1.HealthOptions{
+		StallWindow: sim.Cycle(*stallWindow),
+		Deadline:    *deadline,
+	}
+	r, err := dcl1.RunChecked(cfg, d, app, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		writeDump(err, *dumpPath)
+		os.Exit(1)
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -89,3 +108,32 @@ func main() {
 }
 
 func className(c interface{ String() string }) string { return c.String() }
+
+// writeDump sends err's diagnostic dump to path (JSON when the path ends in
+// .json, text otherwise), or as text to stderr when path is "".
+func writeDump(err error, path string) {
+	d := dcl1.DumpOf(err)
+	if d == nil {
+		return
+	}
+	if path == "" {
+		dcl1.WriteHealthDump(os.Stderr, err)
+		return
+	}
+	f, ferr := os.Create(path)
+	if ferr != nil {
+		fmt.Fprintf(os.Stderr, "cannot write health dump: %v\n", ferr)
+		dcl1.WriteHealthDump(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		if js, jerr := d.JSON(); jerr == nil {
+			f.Write(append(js, '\n'))
+			fmt.Fprintf(os.Stderr, "health dump written to %s\n", path)
+			return
+		}
+	}
+	dcl1.WriteHealthDump(f, err)
+	fmt.Fprintf(os.Stderr, "health dump written to %s\n", path)
+}

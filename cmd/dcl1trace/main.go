@@ -74,6 +74,8 @@ func replay(args []string) {
 	in := fs.String("in", "workload.trc", "input trace file")
 	design := fs.String("design", "Sh40+C10+Boost", "cache organization")
 	cycles := fs.Int64("cycles", 0, "measurement window (core cycles)")
+	deadline := fs.Duration("deadline", 0, "wall-clock bound for the run (0 = none)")
+	stallWindow := fs.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
 	fs.Parse(args)
 
 	f, err := os.Open(*in)
@@ -90,7 +92,13 @@ func replay(args []string) {
 		fatal("%v", err)
 	}
 	cfg := dcl1.Config{Cores: tr.Cores, MeasureCycles: *cycles}
-	r := dcl1.RunWorkload(cfg, d, tr)
+	opts := dcl1.HealthOptions{StallWindow: *stallWindow, Deadline: *deadline}
+	r, err := dcl1.RunWorkloadChecked(cfg, d, tr, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		dcl1.WriteHealthDump(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Printf("trace:             %s (%d cores, %d waves/core)\n", tr.Name, tr.Cores, tr.Waves)
 	fmt.Printf("design:            %s\n", r.Design)
 	fmt.Printf("IPC:               %.3f\n", r.IPC)

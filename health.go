@@ -1,0 +1,71 @@
+package dcl1
+
+import (
+	"fmt"
+	"io"
+
+	"dcl1sim/internal/gpu"
+	"dcl1sim/internal/health"
+)
+
+// HealthOptions configures the health layer of checked runs: the progress
+// watchdog's stall window and sampling period (in core cycles) and an
+// optional wall-clock deadline for the whole run.
+type HealthOptions = gpu.HealthOptions
+
+// Typed errors returned by the checked run APIs. All but SimError carry a
+// structured diagnostic dump, extractable with DumpOf.
+type (
+	// DeadlockError: no progress probe advanced for a full stall window
+	// while some component still had pending work.
+	DeadlockError = health.DeadlockError
+	// DeadlineError: the wall-clock deadline expired mid-run.
+	DeadlineError = health.DeadlineError
+	// InvariantError: a completed run failed its final invariant audit.
+	InvariantError = health.InvariantError
+	// SimError: a panic recovered from inside a run, with design, app, and
+	// cycle context.
+	SimError = health.SimError
+	// HealthDump is the structured diagnostic snapshot carried by health
+	// errors: clock positions, probe states, component dumps, violations.
+	HealthDump = health.Dump
+	// Violation is one broken component invariant inside a HealthDump.
+	Violation = health.Violation
+)
+
+// RunChecked is Run under the health layer: a wedged simulation aborts with a
+// *DeadlockError naming the stalled subsystem, wall-clock overruns abort with
+// a *DeadlineError, the finished run is audited for invariant violations, and
+// panics surface as *SimError instead of crashing the caller. A healthy run
+// returns Results bit-identical to Run.
+func RunChecked(cfg Config, d Design, app AppSpec, opts HealthOptions) (Results, error) {
+	return gpu.RunChecked(cfg, d, app, opts)
+}
+
+// RunWorkloadChecked is RunChecked for any Workload (AppSpec, Trace, or
+// Partition).
+func RunWorkloadChecked(cfg Config, d Design, w Workload, opts HealthOptions) (Results, error) {
+	return gpu.RunChecked(cfg, d, w, opts)
+}
+
+// RunBatchChecked is RunBatch under the health layer: errs[i] is job i's
+// typed health error, or nil. One wedged or crashing job degrades into its
+// error slot instead of hanging or killing the whole sweep.
+func RunBatchChecked(jobs []Job, workers int, opts HealthOptions) (results []Results, errs []error) {
+	return gpu.RunManyChecked(jobs, workers, opts)
+}
+
+// DumpOf extracts the diagnostic dump carried by a checked-run error, or nil
+// (plain validation errors and SimError carry none).
+func DumpOf(err error) *HealthDump { return health.DumpOf(err) }
+
+// WriteHealthDump renders err's diagnostic dump to w as indented text and
+// reports whether err carried one.
+func WriteHealthDump(w io.Writer, err error) bool {
+	d := health.DumpOf(err)
+	if d == nil {
+		return false
+	}
+	fmt.Fprint(w, d.Text())
+	return true
+}

@@ -116,10 +116,14 @@ type Ctrl struct {
 	tracker Tracker
 	pipe    *sim.DelayQueue[*mem.Access] // hit replies / acks in flight
 	mshr    map[uint64]*mshrEntry
+
+	lastTick sim.Cycle // most recent Tick cycle, for invariant age checks
+	ageBound sim.Cycle // MSHR age bound override (0 = DefaultMSHRAgeBound)
 }
 
 type mshrEntry struct {
 	waiters []*mem.Access
+	allocAt sim.Cycle // cycle the entry was allocated, for age auditing
 }
 
 // New builds a controller. tracker may be nil (no replication measurement).
@@ -147,6 +151,7 @@ func (c *Ctrl) MSHRInUse() int { return len(c.mshr) }
 
 // Tick advances the controller one cycle of its clock domain.
 func (c *Ctrl) Tick(now sim.Cycle) {
+	c.lastTick = now
 	c.drainPipe(now)
 	c.processFills(now)
 	c.processRequests(now)
@@ -303,14 +308,14 @@ func (c *Ctrl) serveLoad(a *mem.Access, now sim.Cycle) bool {
 		c.Stat.MSHRStalls++
 		return false
 	}
-	c.mshr[a.Line] = &mshrEntry{waiters: []*mem.Access{a}}
+	c.mshr[a.Line] = &mshrEntry{waiters: []*mem.Access{a}, allocAt: now}
 	fetch := *a
 	fetch.IsReply = false
 	c.MissOut.Push(&fetch)
 	c.Stat.Loads++
 	c.Stat.LoadMisses++
 	c.noteReplication(a)
-	c.prefetchAfter(a)
+	c.prefetchAfter(a, now)
 	return true
 }
 
@@ -321,7 +326,7 @@ const PrefetchCore = -2
 // prefetchAfter issues best-effort sequential prefetches following a demand
 // miss. Prefetches never stall demand traffic: they are dropped when MSHRs
 // or the miss queue are full.
-func (c *Ctrl) prefetchAfter(a *mem.Access) {
+func (c *Ctrl) prefetchAfter(a *mem.Access, now sim.Cycle) {
 	stride := c.P.PrefetchStride
 	if stride <= 0 {
 		stride = 1
@@ -345,7 +350,7 @@ func (c *Ctrl) prefetchAfter(a *mem.Access) {
 			Wave:     -1,
 			Node:     c.ID,
 		}
-		c.mshr[line] = &mshrEntry{waiters: []*mem.Access{pf}}
+		c.mshr[line] = &mshrEntry{waiters: []*mem.Access{pf}, allocAt: now}
 		fetch := *pf
 		c.MissOut.Push(&fetch)
 		c.Stat.Prefetches++
@@ -398,7 +403,7 @@ func (c *Ctrl) serveStore(a *mem.Access, now sim.Cycle) bool {
 			c.Stat.MSHRStalls++
 			return false
 		}
-		c.mshr[a.Line] = &mshrEntry{waiters: []*mem.Access{a}}
+		c.mshr[a.Line] = &mshrEntry{waiters: []*mem.Access{a}, allocAt: now}
 		fetch := *a
 		fetch.Kind = mem.Load
 		fetch.IsReply = false

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"fmt"
+
+	"dcl1sim/internal/health"
+	"dcl1sim/internal/sim"
+)
+
+// DefaultMSHRAgeBound is the invariant-audit bound on how long an MSHR entry
+// may stay pending. Fills normally return within a few thousand cycles even
+// under heavy congestion; an entry this old means the fill was lost.
+const DefaultMSHRAgeBound sim.Cycle = 25_000
+
+// SetAgeBound overrides DefaultMSHRAgeBound for this controller (tests and
+// stress studies); 0 restores the default. It lives outside Params so
+// existing construction sites stay untouched.
+func (c *Ctrl) SetAgeBound(b sim.Cycle) { c.ageBound = b }
+
+func (c *Ctrl) mshrAgeBound() sim.Cycle {
+	if c.ageBound > 0 {
+		return c.ageBound
+	}
+	return DefaultMSHRAgeBound
+}
+
+// CheckInvariants implements health.Checker: MSHR occupancy within capacity,
+// merge counts within MaxMerge, no entry pending longer than the age bound,
+// and push/pop conservation on the four controller queues.
+func (c *Ctrl) CheckInvariants() []health.Violation {
+	var out []health.Violation
+	name := c.P.Name
+	if len(c.mshr) > c.P.MSHRs {
+		out = append(out, health.Violation{
+			Component: name, Rule: "mshr-occupancy",
+			Detail: fmt.Sprintf("%d entries allocated, capacity %d", len(c.mshr), c.P.MSHRs),
+		})
+	}
+	overMerged, overAged := 0, 0
+	var oldest sim.Cycle = -1
+	for _, e := range c.mshr {
+		if len(e.waiters) > c.P.MaxMerge {
+			overMerged++
+		}
+		if age := c.lastTick - e.allocAt; age > c.mshrAgeBound() {
+			overAged++
+			if age > oldest {
+				oldest = age
+			}
+		}
+	}
+	if overMerged > 0 {
+		out = append(out, health.Violation{
+			Component: name, Rule: "mshr-overmerge",
+			Detail: fmt.Sprintf("%d entries exceed MaxMerge %d", overMerged, c.P.MaxMerge),
+		})
+	}
+	if overAged > 0 {
+		out = append(out, health.Violation{
+			Component: name, Rule: "mshr-entry-stuck", Warn: true,
+			Detail: fmt.Sprintf("%d entries pending > %d cycles (oldest %d)",
+				overAged, c.mshrAgeBound(), oldest),
+		})
+	}
+	for _, q := range []struct {
+		label string
+		q     sim.QueueState
+	}{
+		{"In", c.In}, {"Out", c.Out}, {"MissOut", c.MissOut}, {"FillIn", c.FillIn},
+	} {
+		out = append(out, sim.CheckQueue(name, q.label, q.q)...)
+	}
+	return out
+}
+
+// Pending returns buffered plus in-flight work inside the controller (queues,
+// reply pipe, allocated MSHRs).
+func (c *Ctrl) Pending() int {
+	return c.In.Len() + c.Out.Len() + c.MissOut.Len() + c.FillIn.Len() +
+		c.pipe.Len() + len(c.mshr)
+}
+
+// DumpHealth snapshots the controller for a diagnostic dump. The bool result
+// marks the snapshot interesting (any pending work to explain).
+func (c *Ctrl) DumpHealth() (health.ComponentDump, bool) {
+	var oldest sim.Cycle
+	for _, e := range c.mshr {
+		if age := c.lastTick - e.allocAt; age > oldest {
+			oldest = age
+		}
+	}
+	d := health.ComponentDump{
+		Name: c.P.Name,
+		Fields: []health.Field{
+			health.F("cycle", "%d", c.lastTick),
+			health.F("in", "%d/%d (pushes %d, pops %d)", c.In.Len(), c.In.Cap(), c.In.PushCount, c.In.PopCount),
+			health.F("out", "%d/%d (pushes %d, pops %d)", c.Out.Len(), c.Out.Cap(), c.Out.PushCount, c.Out.PopCount),
+			health.F("missOut", "%d/%d (pushes %d, pops %d)", c.MissOut.Len(), c.MissOut.Cap(), c.MissOut.PushCount, c.MissOut.PopCount),
+			health.F("fillIn", "%d/%d (pushes %d, pops %d)", c.FillIn.Len(), c.FillIn.Cap(), c.FillIn.PushCount, c.FillIn.PopCount),
+			health.F("mshr", "%d/%d in use, oldest age %d", len(c.mshr), c.P.MSHRs, oldest),
+			health.F("replyPipe", "%d in flight", c.pipe.Len()),
+			health.F("stats", "loads %d, misses %d, stores %d, mshrStalls %d",
+				c.Stat.Loads, c.Stat.LoadMisses, c.Stat.Stores, c.Stat.MSHRStalls),
+		},
+	}
+	return d, c.Pending() > 0
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"dcl1sim/internal/health"
+	"dcl1sim/internal/sim"
+)
+
+// CheckInvariants implements health.Checker: every blocked wavefront must
+// have a reason to be blocked (a fence with outstanding transactions, or the
+// outstanding cap reached), outstanding counts must be non-negative, and the
+// core queues must conserve accesses. A violation here means replies were
+// lost or double-counted somewhere below the core.
+func (c *Core) CheckInvariants() []health.Violation {
+	var out []health.Violation
+	name := fmt.Sprintf("core-%d", c.P.ID)
+	for _, w := range c.waves {
+		switch {
+		case w.outstanding < 0:
+			out = append(out, health.Violation{
+				Component: name, Rule: "negative-outstanding",
+				Detail: fmt.Sprintf("wave %d outstanding %d", w.id, w.outstanding),
+			})
+		case w.blocked && w.fence && w.outstanding == 0:
+			out = append(out, health.Violation{
+				Component: name, Rule: "fence-stuck", Warn: true,
+				Detail: fmt.Sprintf("wave %d fence-blocked with zero outstanding transactions", w.id),
+			})
+		case w.blocked && !w.fence && w.outstanding < c.P.MaxOutstanding:
+			out = append(out, health.Violation{
+				Component: name, Rule: "block-stuck", Warn: true,
+				Detail: fmt.Sprintf("wave %d blocked at %d outstanding, cap %d",
+					w.id, w.outstanding, c.P.MaxOutstanding),
+			})
+		}
+	}
+	out = append(out, sim.CheckQueue(name, "Out", c.Out)...)
+	out = append(out, sim.CheckQueue(name, "In", c.In)...)
+	out = append(out, sim.CheckQueue(name, "LSQ", c.lsq)...)
+	return out
+}
+
+// DumpHealth snapshots the core for a diagnostic dump; interesting while any
+// wavefront is unfinished or transactions are in flight.
+func (c *Core) DumpHealth() (health.ComponentDump, bool) {
+	done, blocked, fenced, barrier, pending := 0, 0, 0, 0, 0
+	outstanding := 0
+	for _, w := range c.waves {
+		if w.done {
+			done++
+		}
+		if w.blocked {
+			blocked++
+		}
+		if w.fence {
+			fenced++
+		}
+		if w.atBarrier {
+			barrier++
+		}
+		if w.pendActive {
+			pending++
+		}
+		outstanding += w.outstanding
+	}
+	d := health.ComponentDump{
+		Name: fmt.Sprintf("core-%d", c.P.ID),
+		Fields: []health.Field{
+			health.F("waves", "%d total: %d done, %d blocked (%d fenced), %d at barrier, %d expanding",
+				len(c.waves), done, blocked, fenced, barrier, pending),
+			health.F("outstanding", "%d transactions", outstanding),
+			health.F("lsq", "%d/%d", c.lsq.Len(), c.lsq.Cap()),
+			health.F("out", "%d/%d", c.Out.Len(), c.Out.Cap()),
+			health.F("in", "%d/%d", c.In.Len(), c.In.Cap()),
+			health.F("stats", "issued %d, transactions %d, stallNoReady %d",
+				c.Stat.Issued, c.Stat.Transactions, c.Stat.StallNoReady),
+		},
+	}
+	interesting := !c.Done() || outstanding > 0 || c.lsq.Len() > 0 ||
+		c.Out.Len() > 0 || c.In.Len() > 0
+	return d, interesting
+}

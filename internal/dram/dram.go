@@ -110,6 +110,7 @@ type Channel struct {
 	busBusy     sim.Cycle
 	inflight    *sim.DelayQueue[*mem.Access]
 	nextRefresh sim.Cycle
+	lastTick    sim.Cycle // most recent Tick cycle, for stuck-access auditing
 }
 
 // New builds a channel.
@@ -126,6 +127,7 @@ func New(p Params) *Channel {
 
 // Tick advances the channel one memory-clock cycle.
 func (c *Channel) Tick(now sim.Cycle) {
+	c.lastTick = now
 	c.Stat.Cycles++
 	c.maybeRefresh(now)
 	// Complete finished accesses.

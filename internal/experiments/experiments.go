@@ -135,7 +135,24 @@ type Context struct {
 	memo map[string]gpu.Results
 	// Progress, when non-nil, receives a line per fresh simulation.
 	Progress io.Writer
+	// Health configures the watchdog every simulation runs under. The zero
+	// value is the default stall window with no wall-clock deadline.
+	Health gpu.HealthOptions
+
+	failures []Failure
 }
+
+// Failure records one simulation that aborted with a health error. The
+// experiment's table gets zero cells for that run; the failure is reported so
+// sweeps degrade loudly instead of silently.
+type Failure struct {
+	Design string
+	App    string
+	Err    error
+}
+
+// Failures returns the health failures recorded so far, in run order.
+func (ctx *Context) Failures() []Failure { return ctx.failures }
 
 // NewContext builds a context around the 80-core default machine with the
 // experiment-suite measurement windows.
@@ -167,7 +184,15 @@ func (ctx *Context) run(cfg gpu.Config, d gpu.Design, app workload.Source) gpu.R
 	if r, ok := ctx.memo[key]; ok {
 		return r
 	}
-	r := gpu.Run(cfg, d, app)
+	r, err := gpu.RunChecked(cfg, d, app, ctx.Health)
+	if err != nil {
+		ctx.failures = append(ctx.failures, Failure{Design: d.Name(), App: app.Label(), Err: err})
+		if ctx.Progress != nil {
+			fmt.Fprintf(ctx.Progress, "  FAILED %-16s %-14s %v\n", d.Name(), app.Label(), err)
+		}
+		ctx.memo[key] = r // zero Results: the table shows the hole, once
+		return r
+	}
 	if ctx.Progress != nil {
 		fmt.Fprintf(ctx.Progress, "  ran %-16s %-14s IPC=%.2f miss=%.2f\n", d.Name(), app.Label(), r.IPC, r.L1MissRate)
 	}

@@ -116,24 +116,39 @@ func NewSystem(cfg Config, d Design, app workload.Source) *System {
 }
 
 func validate(cfg Config, d Design) {
+	if err := d.Validate(cfg); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Validate reports whether the design's topology is buildable on the given
+// machine configuration. Both the design and the configuration are checked
+// after defaults are applied, matching what NewSystem would construct.
+func (d Design) Validate(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	d = d.withDefaults(cfg)
 	switch d.Kind {
 	case Private, Shared:
 		if cfg.Cores%d.DCL1s != 0 && d.Kind == Private {
-			panic(fmt.Sprintf("gpu: %d cores not divisible by %d DC-L1 nodes", cfg.Cores, d.DCL1s))
+			return fmt.Errorf("gpu: %d cores not divisible by %d DC-L1 nodes", cfg.Cores, d.DCL1s)
 		}
 	case Clustered:
 		if d.DCL1s%d.Clusters != 0 || cfg.Cores%d.Clusters != 0 {
-			panic("gpu: clusters must divide cores and DC-L1 nodes")
+			return fmt.Errorf("gpu: clusters (%d) must divide cores (%d) and DC-L1 nodes (%d)",
+				d.Clusters, cfg.Cores, d.DCL1s)
 		}
 		m := d.DCL1s / d.Clusters
 		if cfg.L2Slices%m != 0 {
-			panic("gpu: DC-L1s per cluster must divide L2 slices")
+			return fmt.Errorf("gpu: DC-L1s per cluster (%d) must divide L2 slices (%d)",
+				m, cfg.L2Slices)
 		}
 	case CDXBar:
 		if cfg.Cores%d.CDXGroups != 0 || cfg.L2Slices%d.CDXMid != 0 {
-			panic("gpu: CDXBar groups/mid must divide cores/L2 slices")
+			return fmt.Errorf("gpu: CDXBar groups (%d) / mid links (%d) must divide cores (%d) / L2 slices (%d)",
+				d.CDXGroups, d.CDXMid, cfg.Cores, cfg.L2Slices)
 		}
 	}
+	return nil
 }
 
 // nodeCount returns the number of L1/DC-L1 nodes in the design.

@@ -48,9 +48,18 @@ func (c Config) Validate() error {
 		{"NoCMHz", c.NoCMHz},
 		{"MemMHz", c.MemMHz},
 		{"L1KB", int64(c.L1KB)},
+		{"L1Ways", int64(c.L1Ways)},
+		{"L1MSHRs", int64(c.L1MSHRs)},
+		{"L1MaxMerge", int64(c.L1MaxMerge)},
 		{"L2KB", int64(c.L2KB)},
+		{"L2Ways", int64(c.L2Ways)},
+		{"L2Lat", c.L2Lat},
+		{"L2MSHRs", int64(c.L2MSHRs)},
+		{"DramBanks", int64(c.DramBanks)},
 		{"WarmupCycles", c.WarmupCycles},
 		{"MeasureCycles", c.MeasureCycles},
+		{"MaxOutstanding", int64(c.MaxOutstanding)},
+		{"WavesPerCTA", int64(c.WavesPerCTA)},
 	} {
 		if err := chk(f.name, f.v); err != nil {
 			return err

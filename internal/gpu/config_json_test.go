@@ -43,6 +43,15 @@ func TestLoadConfigValidates(t *testing.T) {
 		`{"Cores": -1}`,
 		`{"MeasureCycles": -5}`,
 		`{"L2Slices": 4, "Channels": 8}`,
+		`{"L1MSHRs": -8}`,
+		`{"L1Ways": -2}`,
+		`{"L1MaxMerge": -1}`,
+		`{"L2MSHRs": -32}`,
+		`{"L2Ways": -4}`,
+		`{"L2Lat": -3}`,
+		`{"DramBanks": -16}`,
+		`{"MaxOutstanding": -12}`,
+		`{"WavesPerCTA": -2}`,
 	}
 	for _, in := range cases {
 		if _, err := LoadConfig(strings.NewReader(in)); err == nil {

@@ -1,0 +1,279 @@
+package gpu
+
+import (
+	"runtime/debug"
+	"time"
+
+	"dcl1sim/internal/health"
+	"dcl1sim/internal/noc"
+	"dcl1sim/internal/sim"
+	"dcl1sim/internal/workload"
+)
+
+// HealthOptions configures the watchdog and auditing of a checked run.
+type HealthOptions struct {
+	// StallWindow is the deadlock window in core cycles: no probe progress
+	// for this long while components are busy aborts the run. 0 selects
+	// sim.DefaultStallWindow; negative disables deadlock detection.
+	StallWindow sim.Cycle
+	// CheckEvery is the probe sampling period; 0 derives it from StallWindow.
+	CheckEvery sim.Cycle
+	// Deadline bounds the wall-clock time of the whole run (warmup plus
+	// measurement); 0 means unbounded.
+	Deadline time.Duration
+}
+
+// NewSystemChecked is NewSystem returning validation errors instead of
+// panicking: configuration and topology problems come back as plain errors,
+// and any residual construction panic is wrapped in a *health.SimError.
+func NewSystemChecked(cfg Config, d Design, app workload.Source) (s *System, err error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(cfg); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s = nil
+			err = &health.SimError{
+				Design: d.withDefaults(cfg.WithDefaults()).Name(),
+				App:    app.Label(),
+				Cause:  r,
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	return NewSystem(cfg, d, app), nil
+}
+
+// NewMonitor builds the health monitor for this system: one aggregate
+// progress probe per subsystem (cores, L1/DC-L1 nodes, L2, NoC, DRAM), every
+// component's invariant checker and dump contributor, and head-age watchers
+// on the DC-L1 bridge queues and L2 ingress queues.
+func (s *System) NewMonitor() *health.Monitor {
+	m := health.NewMonitor()
+
+	m.AddProbe(health.Probe{
+		Name: "cores",
+		Sample: func() int64 {
+			var v int64
+			for _, c := range s.Cores {
+				v += c.Stat.Issued + c.Stat.Transactions
+			}
+			return v
+		},
+		Busy: func() bool {
+			for _, c := range s.Cores {
+				if !c.Done() {
+					return true
+				}
+			}
+			return false
+		},
+	})
+	m.AddProbe(health.Probe{
+		Name: "l1-nodes",
+		Sample: func() int64 {
+			var v int64
+			for _, n := range s.Nodes {
+				v += n.Ctrl.Stat.Accesses + n.Stat.BypassRequests + n.Stat.BypassReplies
+			}
+			return v
+		},
+		Busy: func() bool {
+			for _, n := range s.Nodes {
+				if n.Pending() > 0 {
+					return true
+				}
+			}
+			return false
+		},
+	})
+	m.AddProbe(health.Probe{
+		Name: "l2",
+		Sample: func() int64 {
+			var v int64
+			for _, l2 := range s.L2 {
+				v += l2.Stat.Accesses
+			}
+			return v
+		},
+		Busy: func() bool {
+			for i, l2 := range s.L2 {
+				if l2.Pending() > 0 || s.l2in[i].Len() > 0 {
+					return true
+				}
+			}
+			return false
+		},
+	})
+	m.AddProbe(health.Probe{
+		Name: "noc",
+		Sample: func() int64 {
+			var v int64
+			for _, x := range s.crossbars() {
+				v += x.Stat.FlitsMoved
+			}
+			if s.MeshReq != nil {
+				v += s.MeshReq.Stat.FlitHops + s.MeshRep.Stat.FlitHops
+			}
+			return v
+		},
+		Busy: func() bool {
+			for _, x := range s.crossbars() {
+				if x.Pending() > 0 {
+					return true
+				}
+			}
+			if s.MeshReq != nil && (s.MeshReq.Pending() > 0 || s.MeshRep.Pending() > 0) {
+				return true
+			}
+			return false
+		},
+	})
+	m.AddProbe(health.Probe{
+		Name: "dram",
+		Sample: func() int64 {
+			var v int64
+			for _, dc := range s.Drams {
+				v += dc.Stat.Reads + dc.Stat.Writes
+			}
+			return v
+		},
+		Busy: func() bool {
+			for _, dc := range s.Drams {
+				if dc.Pending() > 0 || dc.Out.Len() > 0 {
+					return true
+				}
+			}
+			return false
+		},
+	})
+
+	watch := func(component, label string, q sim.QueueState) {
+		w := sim.NewQueueWatcher(component, label, q)
+		m.AddObserver(w.Observe)
+		m.AddChecker(w)
+	}
+	for _, c := range s.Cores {
+		m.AddChecker(c)
+		m.AddDumper(c.DumpHealth)
+	}
+	for _, n := range s.Nodes {
+		m.AddChecker(n)
+		m.AddDumper(n.DumpHealth)
+		name := n.Ctrl.P.Name
+		watch(name, "Q1", n.Q1)
+		watch(name, "Q2", n.Q2)
+		watch(name, "Q3", n.Q3)
+		watch(name, "Q4", n.Q4)
+	}
+	for i, l2 := range s.L2 {
+		m.AddChecker(l2)
+		m.AddDumper(l2.DumpHealth)
+		watch(l2.P.Name, "in", s.l2in[i])
+	}
+	for _, dc := range s.Drams {
+		m.AddChecker(dc)
+		m.AddDumper(dc.DumpHealth)
+	}
+	for _, x := range s.crossbars() {
+		m.AddChecker(x)
+		m.AddDumper(x.DumpHealth)
+	}
+	if s.MeshReq != nil {
+		m.AddChecker(s.MeshReq)
+		m.AddDumper(s.MeshReq.DumpHealth)
+		m.AddChecker(s.MeshRep)
+		m.AddDumper(s.MeshRep.DumpHealth)
+	}
+	return m
+}
+
+// crossbars returns every crossbar of the design, NoC#1 then NoC#2.
+func (s *System) crossbars() []*noc.Crossbar {
+	var out []*noc.Crossbar
+	for _, group := range [][]*noc.Crossbar{s.Noc1Req, s.Noc1Rep, s.Noc2Req, s.Noc2Rep} {
+		out = append(out, group...)
+	}
+	return out
+}
+
+// RunChecked executes this system's warmup and measurement windows under the
+// health layer: a progress watchdog aborting wedged runs with a
+// *health.DeadlockError, a wall-clock deadline, a final invariant audit, and
+// panic recovery into *health.SimError. A healthy run produces Results
+// bit-identical to Run — the watchdog observes between engine slices but
+// never changes the order components tick in.
+func (s *System) RunChecked(opts HealthOptions) (r Results, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = Results{}
+			err = &health.SimError{
+				Design: s.D.Name(),
+				App:    s.App.Label(),
+				Cycle:  s.CoreClk.Now(),
+				Cause:  p,
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	mon := s.NewMonitor()
+	ro := sim.RunOptions{
+		Monitor:     mon,
+		StallWindow: opts.StallWindow,
+		CheckEvery:  opts.CheckEvery,
+	}
+	start := time.Now()
+	remaining := func() time.Duration {
+		if opts.Deadline <= 0 {
+			return 0
+		}
+		if rem := opts.Deadline - time.Since(start); rem > 0 {
+			return rem
+		}
+		return time.Nanosecond // already expired: trip at the next check
+	}
+	cfg := s.Cfg
+	ro.Deadline = remaining()
+	if err := s.Eng.RunUntilChecked(s.CoreClk, cfg.WarmupCycles, ro); err != nil {
+		return Results{}, err
+	}
+	s.resetStats()
+	measureStart := s.CoreClk.Now()
+	ro.Deadline = remaining()
+	if err := s.Eng.RunUntilChecked(s.CoreClk, cfg.WarmupCycles+cfg.MeasureCycles, ro); err != nil {
+		return Results{}, err
+	}
+	cycles := s.CoreClk.Now() - measureStart
+	// Post-run audit. Age-heuristic findings (Warn) diagnose congestion and
+	// belong in dumps, but a saturated-yet-progressing run — e.g. the
+	// paper's pathological apps on the thrashing baseline — is a result,
+	// not a failure. Only hard accounting/protocol violations fail the run.
+	if v := health.Fatal(mon.CheckInvariants()); len(v) > 0 {
+		dump := mon.BuildDump("audit", s.CoreClk.Name(), s.CoreClk.Now(), s.healthClocks())
+		return Results{}, &health.InvariantError{RefCycle: s.CoreClk.Now(), Dump: dump}
+	}
+	return s.collect(cycles), nil
+}
+
+// healthClocks snapshots the engine's clock domains for a dump.
+func (s *System) healthClocks() []health.ClockState {
+	var out []health.ClockState
+	for _, c := range s.Eng.Clocks() {
+		out = append(out, health.ClockState{Name: c.Name(), FreqMHz: c.FreqMHz(), Cycle: c.Now()})
+	}
+	return out
+}
+
+// RunChecked builds the system and executes it under the health layer,
+// returning typed errors (validation, deadlock, deadline, invariant audit,
+// recovered panic) instead of hanging or crashing.
+func RunChecked(cfg Config, d Design, app workload.Source, opts HealthOptions) (Results, error) {
+	s, err := NewSystemChecked(cfg, d, app)
+	if err != nil {
+		return Results{}, err
+	}
+	return s.RunChecked(opts)
+}

@@ -1,0 +1,161 @@
+package gpu
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dcl1sim/internal/health"
+	"dcl1sim/internal/sim"
+)
+
+// A healthy run under the watchdog must be bit-identical to a plain Run: the
+// chunked RunUntilChecked observes the system but never perturbs tick order.
+func TestRunCheckedMatchesRun(t *testing.T) {
+	for name, d := range designs() {
+		t.Run(name, func(t *testing.T) {
+			plain := Run(testCfg(), d, sharingApp())
+			checked, err := RunChecked(testCfg(), d, sharingApp(), HealthOptions{})
+			if err != nil {
+				t.Fatalf("RunChecked errored: %v", err)
+			}
+			if !reflect.DeepEqual(plain, checked) {
+				t.Fatalf("results diverge under watchdog:\nplain   %+v\nchecked %+v", plain, checked)
+			}
+		})
+	}
+}
+
+func TestRunCheckedHealthyHasNoViolations(t *testing.T) {
+	s := NewSystem(testCfg(), Design{Kind: Clustered, DCL1s: 4, Clusters: 2}, sharingApp())
+	if _, err := s.RunChecked(HealthOptions{}); err != nil {
+		t.Fatalf("healthy full-system run errored: %v", err)
+	}
+}
+
+// Wedge the machine by black-holing every core's reply queue: waves block at
+// MaxOutstanding or a fence and never unblock, so cores stay busy while no
+// probe advances. The watchdog must abort with a DeadlockError naming the
+// stalled component instead of spinning forever.
+func TestRunCheckedDetectsWedgedSystem(t *testing.T) {
+	for _, name := range []string{"baseline", "sh4c2", "mesh"} {
+		d := designs()[name]
+		t.Run(name, func(t *testing.T) {
+			s := NewSystem(testCfg(), d, sharingApp())
+			// Black-hole on every clock: replies are injected on core, NoC,
+			// and mesh clocks, and each drain runs after that clock's
+			// producers, so no reply ever survives to a core retire.
+			drain := sim.TickFunc(func(sim.Cycle) {
+				for _, co := range s.Cores {
+					for {
+						if _, ok := co.In.Pop(); !ok {
+							break
+						}
+					}
+				}
+			})
+			for _, clk := range s.Eng.Clocks() {
+				clk.Register(drain)
+			}
+			_, err := s.RunChecked(HealthOptions{StallWindow: 500})
+			var dl *health.DeadlockError
+			if !errors.As(err, &dl) {
+				t.Fatalf("expected DeadlockError, got %v", err)
+			}
+			if dl.Dump == nil || len(dl.Dump.Probes) == 0 || len(dl.Dump.Components) == 0 {
+				t.Fatalf("deadlock dump is empty: %+v", dl.Dump)
+			}
+			stalled := dl.Dump.Stalled()
+			foundCores := false
+			for _, p := range stalled {
+				if p == "cores" {
+					foundCores = true
+				}
+			}
+			if !foundCores {
+				t.Fatalf("stalled probes %v do not include cores", stalled)
+			}
+			if !strings.Contains(err.Error(), "cores") {
+				t.Fatalf("error does not name the stalled component: %v", err)
+			}
+			if !strings.Contains(dl.Dump.Text(), "deadlock") {
+				t.Fatalf("dump text missing reason:\n%s", dl.Dump.Text())
+			}
+			if js, jerr := dl.Dump.JSON(); jerr != nil || len(js) == 0 {
+				t.Fatalf("dump JSON failed: %v", jerr)
+			}
+		})
+	}
+}
+
+func TestRunCheckedDeadline(t *testing.T) {
+	_, err := RunChecked(testCfg(), Design{Kind: Baseline}, sharingApp(),
+		HealthOptions{Deadline: time.Nanosecond})
+	var de *health.DeadlineError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected DeadlineError, got %v", err)
+	}
+	if de.Dump == nil {
+		t.Fatal("deadline error without dump")
+	}
+}
+
+// NewSystemChecked must convert the construction panics that NewSystem
+// reserves for programming errors into ordinary errors.
+func TestNewSystemCheckedValidation(t *testing.T) {
+	bad := []Design{
+		{Kind: Private, DCL1s: 3},
+		{Kind: Clustered, DCL1s: 4, Clusters: 3},
+		{Kind: CDXBar, CDXGroups: 3, CDXMid: 2},
+	}
+	for i, d := range bad {
+		if _, err := NewSystemChecked(testCfg(), d, sharingApp()); err == nil {
+			t.Errorf("case %d (%s): expected error", i, d.Name())
+		}
+	}
+	badCfg := testCfg()
+	badCfg.L1MSHRs = -4
+	if _, err := NewSystemChecked(badCfg, Design{Kind: Baseline}, sharingApp()); err == nil {
+		t.Error("negative L1MSHRs accepted")
+	}
+	if _, err := NewSystemChecked(testCfg(), Design{Kind: Baseline}, sharingApp()); err != nil {
+		t.Errorf("valid system rejected: %v", err)
+	}
+}
+
+func TestDesignValidate(t *testing.T) {
+	cfg := testCfg()
+	if err := (Design{Kind: Shared, DCL1s: 4, Clusters: 2}).Validate(cfg); err != nil {
+		t.Errorf("sh4c2 rejected: %v", err)
+	}
+	if err := (Design{Kind: Private, DCL1s: 3}).Validate(cfg); err == nil {
+		t.Error("Pr3 on 8 cores accepted")
+	}
+	if err := (Design{Kind: Clustered, DCL1s: 4, Clusters: 3}).Validate(cfg); err == nil {
+		t.Error("Sh4+C3 accepted")
+	}
+}
+
+func TestRunManyChecked(t *testing.T) {
+	jobs := []Job{
+		{Cfg: testCfg(), D: Design{Kind: Baseline}, App: sharingApp()},
+		{Cfg: testCfg(), D: Design{Kind: Private, DCL1s: 3}, App: sharingApp()}, // invalid
+		{Cfg: testCfg(), D: Design{Kind: Shared, DCL1s: 4}, App: streamApp()},
+	}
+	out, errs := RunManyChecked(jobs, 2, HealthOptions{})
+	if len(out) != 3 || len(errs) != 3 {
+		t.Fatalf("got %d results, %d errors", len(out), len(errs))
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("healthy jobs errored: %v %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("invalid job did not error")
+	}
+	want := Run(testCfg(), Design{Kind: Baseline}, sharingApp())
+	if !reflect.DeepEqual(out[0], want) {
+		t.Fatal("batch result differs from direct run")
+	}
+}

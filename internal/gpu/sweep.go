@@ -47,3 +47,38 @@ func RunMany(jobs []Job, workers int) []Results {
 	wg.Wait()
 	return out
 }
+
+// RunManyChecked is RunMany under the health layer: every job runs with the
+// progress watchdog, deadline, and invariant audit of opts, and errs[i]
+// carries job i's typed health error (nil on success). A wedged or crashing
+// job degrades into its error slot instead of hanging or killing the sweep.
+func RunManyChecked(jobs []Job, workers int, opts HealthOptions) (out []Results, errs []error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	out = make([]Results, len(jobs))
+	errs = make([]error, len(jobs))
+	if len(jobs) == 0 {
+		return out, errs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = RunChecked(jobs[i].Cfg, jobs[i].D, jobs[i].App, opts)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, errs
+}

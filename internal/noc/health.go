@@ -1,0 +1,119 @@
+package noc
+
+import (
+	"fmt"
+
+	"dcl1sim/internal/health"
+	"dcl1sim/internal/sim"
+)
+
+// DefaultStuckFlitAge is the invariant-audit bound on how long a matured
+// traversal may wait for a full output stage or endpoint before it is
+// reported as a stuck flit.
+const DefaultStuckFlitAge sim.Cycle = 10_000
+
+// CheckInvariants implements health.Checker for the crossbar: a traversal
+// that matured long ago but cannot leave (full staging queue or a rejecting
+// endpoint) is a stuck flit; VOQ and staging queues must conserve packets.
+func (x *Crossbar) CheckInvariants() []health.Violation {
+	var out []health.Violation
+	if at, ok := x.inFlight.NextReadyAt(); ok {
+		if age := x.lastTick - at; age > DefaultStuckFlitAge {
+			p, _ := x.inFlight.PeekReady(x.lastTick)
+			detail := fmt.Sprintf("traversal matured %d cycles ago", age)
+			if p != nil {
+				detail = fmt.Sprintf("traversal to output %d matured %d cycles ago (%d flits)",
+					p.Dst, age, p.Flits)
+			}
+			out = append(out, health.Violation{
+				Component: x.P.Name, Rule: "stuck-flit", Warn: true, Detail: detail,
+			})
+		}
+	}
+	for o, q := range x.staged {
+		out = append(out, sim.CheckQueue(x.P.Name, fmt.Sprintf("staged[%d]", o), q)...)
+	}
+	return out
+}
+
+// DumpHealth snapshots the crossbar for a diagnostic dump.
+func (x *Crossbar) DumpHealth() (health.ComponentDump, bool) {
+	voqOccupied, voqPackets := 0, 0
+	for i := range x.voq {
+		for o := range x.voq[i] {
+			if n := x.voq[i][o].Len(); n > 0 {
+				voqOccupied++
+				voqPackets += n
+			}
+		}
+	}
+	stagedPackets := 0
+	for _, q := range x.staged {
+		stagedPackets += q.Len()
+	}
+	d := health.ComponentDump{
+		Name: x.P.Name,
+		Fields: []health.Field{
+			health.F("cycle", "%d", x.lastTick),
+			health.F("shape", "%dx%d, %dB links", x.P.Ins, x.P.Outs, x.P.LinkBytes),
+			health.F("voqs", "%d occupied, %d packets", voqOccupied, voqPackets),
+			health.F("inFlight", "%d traversals", x.inFlight.Len()),
+			health.F("staged", "%d packets", stagedPackets),
+			health.F("stats", "packets %d, flits %d, stallNoRoom %d",
+				x.Stat.PacketsMoved, x.Stat.FlitsMoved, x.Stat.StallNoRoom),
+		},
+	}
+	return d, x.Pending() > 0
+}
+
+// CheckInvariants implements health.Checker for the mesh: a transit that
+// first matured long ago but is still retrying (full downstream buffer or
+// rejecting endpoint) is a stuck flit.
+func (m *Mesh) CheckInvariants() []health.Violation {
+	var out []health.Violation
+	stuck := 0
+	var oldest sim.Cycle
+	for n := range m.routers {
+		r := &m.routers[n]
+		if tr, ok := r.inflight.PeekReady(m.lastTick); ok {
+			if age := m.lastTick - tr.firstReady; age > DefaultStuckFlitAge {
+				stuck++
+				if age > oldest {
+					oldest = age
+				}
+			}
+		}
+	}
+	if stuck > 0 {
+		out = append(out, health.Violation{
+			Component: m.P.Name, Rule: "stuck-flit", Warn: true,
+			Detail: fmt.Sprintf("%d routers with transits matured > %d cycles (oldest %d)",
+				stuck, DefaultStuckFlitAge, oldest),
+		})
+	}
+	return out
+}
+
+// DumpHealth snapshots the mesh for a diagnostic dump.
+func (m *Mesh) DumpHealth() (health.ComponentDump, bool) {
+	buffered, inflight := 0, 0
+	for n := range m.routers {
+		r := &m.routers[n]
+		for d := 0; d < numPorts; d++ {
+			buffered += r.in[d].Len()
+		}
+		inflight += r.inflight.Len()
+	}
+	d := health.ComponentDump{
+		Name: m.P.Name,
+		Fields: []health.Field{
+			health.F("cycle", "%d", m.lastTick),
+			health.F("shape", "%dx%d, %dB links", m.P.W, m.P.H, m.P.LinkBytes),
+			health.F("buffered", "%d packets", buffered),
+			health.F("inFlight", "%d transits", inflight),
+			health.F("stats", "packets %d, flitHops %d, stallFull %d",
+				m.Stat.Packets, m.Stat.FlitHops, m.Stat.StallFull),
+		},
+	}
+	return d, m.Pending() > 0
+}

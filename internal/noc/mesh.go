@@ -22,6 +22,7 @@ type Mesh struct {
 
 	routers   []meshRouter
 	endpoints []Endpoint
+	lastTick  sim.Cycle // most recent Tick cycle, for stuck-flit auditing
 }
 
 // MeshParams configures a mesh.
@@ -91,6 +92,9 @@ type meshRouter struct {
 type meshTransit struct {
 	mp  *meshPacket
 	out int
+	// firstReady is the cycle the traversal first matured; retries of a
+	// blocked transit keep it, so stuck-flit age survives re-queueing.
+	firstReady sim.Cycle
 }
 
 // NewMesh builds a W×H mesh.
@@ -193,6 +197,7 @@ func opposite(d int) int {
 // Tick advances the mesh one cycle: deliver matured transits, then arbitrate
 // each router's outputs round-robin over its inputs.
 func (m *Mesh) Tick(now sim.Cycle) {
+	m.lastTick = now
 	m.Stat.Cycles++
 	// Phase 1: complete transits (hand packets to the next router's input
 	// buffer, or to the endpoint for local outputs).
@@ -256,7 +261,8 @@ func (m *Mesh) Tick(now sim.Cycle) {
 				dur := sim.Cycle(mp.p.Flits)
 				r.outBusy[out] = now + dur
 				r.pendingOut[out]++
-				r.inflight.Push(&meshTransit{mp: mp, out: out}, now+dur+m.P.RouterLat)
+				ready := now + dur + m.P.RouterLat
+				r.inflight.Push(&meshTransit{mp: mp, out: out, firstReady: ready}, ready)
 				r.rr[out] = (in + 1) % numPorts
 				m.Stat.FlitHops += int64(mp.p.Flits)
 				break

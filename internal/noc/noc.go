@@ -107,6 +107,7 @@ type Crossbar struct {
 	inFlight  *sim.DelayQueue[*mem.Packet]
 	staged    []*sim.Queue[*mem.Packet] // per-output staging (post-traversal)
 	endpoints []Endpoint
+	lastTick  sim.Cycle // most recent Tick cycle, for stuck-flit auditing
 }
 
 // New creates a crossbar. Endpoints must be attached with SetEndpoint before
@@ -172,6 +173,7 @@ func (x *Crossbar) CanInject(in, out int) bool {
 
 // Tick advances the switch one NoC-clock cycle.
 func (x *Crossbar) Tick(now sim.Cycle) {
+	x.lastTick = now
 	x.Stat.Cycles++
 	x.deliverStaged()
 	x.completeTraversals(now)

@@ -11,7 +11,9 @@ package sim
 
 import (
 	"fmt"
-	"sort"
+	"time"
+
+	"dcl1sim/internal/health"
 )
 
 // Cycle counts clock edges of a particular clock domain.
@@ -118,10 +120,110 @@ func (e *Engine) NowPs() int64 {
 	if len(e.clocks) == 0 {
 		return 0
 	}
-	ts := make([]int64, 0, len(e.clocks))
-	for _, c := range e.clocks {
-		ts = append(ts, c.nextEdgePs())
+	min := e.clocks[0].nextEdgePs()
+	for _, c := range e.clocks[1:] {
+		if t := c.nextEdgePs(); t < min {
+			min = t
+		}
 	}
-	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
-	return ts[0]
+	return min
+}
+
+// DefaultStallWindow is the number of reference cycles without any probe
+// progress after which RunUntilChecked declares a deadlock.
+const DefaultStallWindow Cycle = 10_000
+
+// RunOptions configures the health instrumentation of RunUntilChecked.
+type RunOptions struct {
+	// Monitor supplies progress probes, invariant checkers, and dumpers.
+	// A nil monitor (or one with no probes) disables deadlock detection;
+	// the wall-clock deadline still applies.
+	Monitor *health.Monitor
+	// StallWindow is the deadlock window in reference cycles: if no probe
+	// advances for this long while some component is busy, the run aborts
+	// with a *health.DeadlockError. 0 selects DefaultStallWindow; negative
+	// disables deadlock detection.
+	StallWindow Cycle
+	// CheckEvery is the probe sampling period in reference cycles.
+	// 0 selects StallWindow/8 (at least 1).
+	CheckEvery Cycle
+	// Deadline bounds the wall-clock time of the run; exceeding it aborts
+	// with a *health.DeadlineError. 0 means no deadline.
+	Deadline time.Duration
+}
+
+func (o RunOptions) withDefaults() RunOptions {
+	if o.StallWindow == 0 {
+		o.StallWindow = DefaultStallWindow
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = o.StallWindow / 8
+		if o.CheckEvery < 1 {
+			o.CheckEvery = 1
+		}
+	}
+	return o
+}
+
+// clockStates snapshots every clock domain for a diagnostic dump.
+func (e *Engine) clockStates() []health.ClockState {
+	out := make([]health.ClockState, 0, len(e.clocks))
+	for _, c := range e.clocks {
+		out = append(out, health.ClockState{Name: c.name, FreqMHz: c.mhz, Cycle: c.cycle})
+	}
+	return out
+}
+
+// RunUntilChecked is RunUntil under a progress watchdog: it advances the
+// engine in CheckEvery-sized slices of the reference clock, sampling the
+// monitor's probes between slices. If no probe advances for a full stall
+// window while some probed component still has pending work, it aborts with
+// a *health.DeadlockError carrying a diagnostic dump; a wall-clock deadline
+// overrun aborts with a *health.DeadlineError.
+//
+// The slicing only changes where the host observes the simulation, never the
+// order components tick in, so a healthy run produces results bit-identical
+// to RunUntil.
+func (e *Engine) RunUntilChecked(ref *Clock, cycles Cycle, opts RunOptions) error {
+	opts = opts.withDefaults()
+	start := time.Now()
+	lastProgress := ref.cycle
+	watch := opts.Monitor != nil && opts.Monitor.Probes() > 0 && opts.StallWindow > 0
+	if watch {
+		opts.Monitor.Advanced() // prime the baseline
+		opts.Monitor.Observe(ref.cycle)
+	}
+	for ref.cycle < cycles {
+		target := ref.cycle + opts.CheckEvery
+		if target > cycles {
+			target = cycles
+		}
+		e.RunUntil(ref, target)
+		if opts.Deadline > 0 {
+			if elapsed := time.Since(start); elapsed > opts.Deadline {
+				var dump *health.Dump
+				if opts.Monitor != nil {
+					dump = opts.Monitor.BuildDump("deadline", ref.name, ref.cycle, e.clockStates())
+				}
+				return &health.DeadlineError{
+					RefCycle: ref.cycle, Deadline: opts.Deadline, Elapsed: elapsed, Dump: dump,
+				}
+			}
+		}
+		if !watch {
+			continue
+		}
+		opts.Monitor.Observe(ref.cycle)
+		if opts.Monitor.Advanced() {
+			lastProgress = ref.cycle
+			continue
+		}
+		if ref.cycle-lastProgress >= opts.StallWindow && opts.Monitor.AnyBusy() {
+			dump := opts.Monitor.BuildDump("deadlock", ref.name, ref.cycle, e.clockStates())
+			return &health.DeadlockError{
+				RefCycle: ref.cycle, Window: ref.cycle - lastProgress, Dump: dump,
+			}
+		}
+	}
+	return nil
 }

@@ -26,15 +26,15 @@ func ParseDesign(s string) (Design, error) {
 	case strings.HasPrefix(head, "Pr"):
 		d.Kind = Private
 		n, err := strconv.Atoi(head[2:])
-		if err != nil {
-			return d, fmt.Errorf("bad design %q", s)
+		if err != nil || n <= 0 {
+			return d, fmt.Errorf("bad design %q: node count must be a positive integer", s)
 		}
 		d.DCL1s = n
 	case strings.HasPrefix(head, "Sh"):
 		d.Kind = Shared
 		n, err := strconv.Atoi(head[2:])
-		if err != nil {
-			return d, fmt.Errorf("bad design %q", s)
+		if err != nil || n <= 0 {
+			return d, fmt.Errorf("bad design %q: node count must be a positive integer", s)
 		}
 		d.DCL1s = n
 	default:
@@ -56,15 +56,18 @@ func ParseDesign(s string) (Design, error) {
 			d.PerfectL1 = true
 		case strings.HasPrefix(p, "C"):
 			n, err := strconv.Atoi(p[1:])
-			if err != nil {
-				return d, fmt.Errorf("bad cluster count %q", p)
+			if err != nil || n <= 0 {
+				return d, fmt.Errorf("bad cluster count %q: must be a positive integer", p)
+			}
+			if d.Kind != Shared && d.Kind != Clustered {
+				return d, fmt.Errorf("cluster modifier %q requires a ShY design", p)
 			}
 			d.Kind = Clustered
 			d.Clusters = n
 		case strings.HasSuffix(p, "xL1"):
 			n, err := strconv.Atoi(strings.TrimSuffix(p, "xL1"))
-			if err != nil {
-				return d, fmt.Errorf("bad capacity scale %q", p)
+			if err != nil || n <= 0 {
+				return d, fmt.Errorf("bad capacity scale %q: must be a positive integer", p)
 			}
 			d.L1CapacityScale = n
 		default:

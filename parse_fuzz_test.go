@@ -1,0 +1,36 @@
+package dcl1
+
+import "testing"
+
+// FuzzParseDesign checks that ParseDesign never panics on arbitrary input,
+// and that accepted designs are name-stable: the canonical Name() of a parsed
+// design must itself parse, to the same canonical name. (Full struct equality
+// is deliberately not required — modifiers that are meaningless for a kind,
+// e.g. +Boost on Baseline, are accepted but dropped from the name.)
+func FuzzParseDesign(f *testing.F) {
+	for _, s := range []string{
+		"Baseline", "SingleL1", "MeshBase", "CDXBar",
+		"Pr80", "Pr40", "Pr10", "Sh40", "Sh20",
+		"Sh40+C10", "Sh40+C10+Boost", "Sh40+C5+PerfectL1",
+		"Baseline+2xNoC", "Pr40+Boost", "CDXBar+2xNoC1", "Baseline+4xL1",
+		"Sh40+C10+Boost+2xL1",
+		"", "Pr", "Pr0", "Pr-5", "Sh40+", "Sh40+C0", "Baseline+C10",
+		"bogus", "Sh40+junk", "Pr40 ", "+Boost",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDesign(s) // must never panic
+		if err != nil {
+			return
+		}
+		name := d.Name()
+		d2, err := ParseDesign(name)
+		if err != nil {
+			t.Fatalf("Name %q of parsed %q does not re-parse: %v", name, s, err)
+		}
+		if n2 := d2.Name(); n2 != name {
+			t.Fatalf("unstable canonical name for %q: %q -> %q", s, name, n2)
+		}
+	})
+}
