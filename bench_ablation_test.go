@@ -26,8 +26,8 @@ func BenchmarkAblationReplyTrimming(b *testing.B) {
 		cfg := smallCfg()
 		dOn.DCL1s, dOn.Clusters = 8, 2
 		dOff.DCL1s, dOff.Clusters = 8, 2
-		rOn := dcl1.Run(cfg, dOn, app)
-		rOff := dcl1.Run(cfg, dOff, app)
+		rOn := mustRun(b, cfg, dOn, app)
+		rOff := mustRun(b, cfg, dOff, app)
 		b.ReportMetric(rOn.IPC/rOff.IPC, "speedup_vs_ablated")
 	}
 }
@@ -38,10 +38,10 @@ func BenchmarkAblationMSHRMerging(b *testing.B) {
 	app, _ := dcl1.AppByName("T-AlexNet")
 	for i := 0; i < b.N; i++ {
 		cfg := smallCfg()
-		merged := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+		merged := mustRun(b, cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
 		cfgNo := cfg
 		cfgNo.L1MaxMerge = 1
-		unmerged := dcl1.Run(cfgNo, dcl1.Design{Kind: dcl1.Baseline}, app)
+		unmerged := mustRun(b, cfgNo, dcl1.Design{Kind: dcl1.Baseline}, app)
 		b.ReportMetric(merged.IPC/unmerged.IPC, "speedup_vs_ablated")
 	}
 }
@@ -51,8 +51,8 @@ func BenchmarkAblationNoC1Boost(b *testing.B) {
 	app, _ := dcl1.AppByName("P-2DCONV")
 	for i := 0; i < b.N; i++ {
 		cfg := smallCfg()
-		boosted := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Clustered, DCL1s: 8, Clusters: 2, Boost1: true}, app)
-		plain := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Clustered, DCL1s: 8, Clusters: 2}, app)
+		boosted := mustRun(b, cfg, dcl1.Design{Kind: dcl1.Clustered, DCL1s: 8, Clusters: 2, Boost1: true}, app)
+		plain := mustRun(b, cfg, dcl1.Design{Kind: dcl1.Clustered, DCL1s: 8, Clusters: 2}, app)
 		b.ReportMetric(boosted.IPC/plain.IPC, "speedup_vs_ablated")
 	}
 }
@@ -110,7 +110,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	app, _ := dcl1.AppByName("C-BFS")
 	cfg := dcl1.Config{WarmupCycles: 2000, MeasureCycles: 8000}
 	for i := 0; i < b.N; i++ {
-		dcl1.Run(cfg, dcl1.Sh40C10Boost(), app)
+		mustRun(b, cfg, dcl1.Sh40C10Boost(), app)
 	}
 	b.ReportMetric(float64(b.N)*10000/b.Elapsed().Seconds(), "core-cycles/s")
 }

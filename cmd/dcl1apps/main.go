@@ -54,7 +54,7 @@ func main() {
 		a.PaperReplRatio*100, a.PaperMissRate*100)
 
 	if *measure {
-		r, err := dcl1.RunChecked(dcl1.Config{}, dcl1.Design{Kind: dcl1.Baseline}, a, dcl1.HealthOptions{})
+		r, err := dcl1.Run(dcl1.Config{}, dcl1.Design{Kind: dcl1.Baseline}, a)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			dcl1.WriteHealthDump(os.Stderr, err)

@@ -30,6 +30,7 @@ func main() {
 
 		deadline    = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
 		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
+		workers     = flag.Int("workers", 1, "run each experiment's fresh simulations across this many goroutines (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -51,6 +52,7 @@ func main() {
 	}
 	ctx.Health.Deadline = *deadline
 	ctx.Health.StallWindow = *stallWindow
+	ctx.Workers = *workers
 
 	var ids []string
 	if *run == "all" {
@@ -67,7 +69,7 @@ func main() {
 			os.Exit(1)
 		}
 		t0 := time.Now()
-		table := e.Run(ctx)
+		table := ctx.RunExperiment(e)
 		if *format == "md" {
 			table.Markdown(os.Stdout)
 		} else {

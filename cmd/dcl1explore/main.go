@@ -27,6 +27,7 @@ func main() {
 
 		deadline    = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
 		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
+		workers     = flag.Int("workers", 1, "simulate sweep points across this many goroutines (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -37,20 +38,6 @@ func main() {
 	}
 	cfg := dcl1.Config{MeasureCycles: sim.Cycle(*cycles), WarmupCycles: sim.Cycle(*warmup)}
 	opts := dcl1.HealthOptions{StallWindow: sim.Cycle(*stallWindow), Deadline: *deadline}
-	checkedRun := func(d dcl1.Design) dcl1.Results {
-		r, err := dcl1.RunChecked(cfg, d, app, opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", d.Name(), err)
-			dcl1.WriteHealthDump(os.Stderr, err)
-			os.Exit(1)
-		}
-		return r
-	}
-
-	base := checkedRun(dcl1.Design{Kind: dcl1.Baseline})
-	baseNoC := dcl1.DesignNoC(cfg, dcl1.Design{Kind: dcl1.Baseline})
-	fmt.Printf("app %s: baseline IPC %.2f, miss %.2f, replication %.2f\n\n",
-		app.Name, base.IPC, base.L1MissRate, base.ReplicationRatio)
 
 	type point struct {
 		d       dcl1.Design
@@ -81,12 +68,12 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%-18s %8s %8s %9s %9s %8s\n", "design", "speedup", "miss", "replicas", "NoC area", "boostOK")
-	best := -1
-	bestScore := 0.0
+	// Feasibility of the boost: every NoC#1 crossbar must clock 2x. Feasible
+	// points (plus the baseline) are simulated as one batch across -workers
+	// goroutines; each simulation stays deterministic, so the sweep output is
+	// identical for any worker count.
 	for i := range pts {
 		p := &pts[i]
-		// Feasibility of the boost: every NoC#1 crossbar must clock 2x.
 		p.canRun = true
 		if p.boosted {
 			spec := dcl1.DesignNoC(cfg, p.d)
@@ -96,11 +83,40 @@ func main() {
 				}
 			}
 		}
+	}
+	jobs := []dcl1.Job{{Cfg: cfg, D: dcl1.Design{Kind: dcl1.Baseline}, App: app}}
+	jobOf := make([]int, len(pts))
+	for i := range pts {
+		jobOf[i] = -1
+		if pts[i].canRun {
+			jobOf[i] = len(jobs)
+			jobs = append(jobs, dcl1.Job{Cfg: cfg, D: pts[i].d, App: app})
+		}
+	}
+	results, errs := dcl1.RunMany(jobs, dcl1.WithWorkers(*workers), dcl1.WithHealth(opts))
+	for i, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", jobs[i].D.Name(), err)
+			dcl1.WriteHealthDump(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	base := results[0]
+	baseNoC := dcl1.DesignNoC(cfg, dcl1.Design{Kind: dcl1.Baseline})
+	fmt.Printf("app %s: baseline IPC %.2f, miss %.2f, replication %.2f\n\n",
+		app.Name, base.IPC, base.L1MissRate, base.ReplicationRatio)
+
+	fmt.Printf("%-18s %8s %8s %9s %9s %8s\n", "design", "speedup", "miss", "replicas", "NoC area", "boostOK")
+	best := -1
+	bestScore := 0.0
+	for i := range pts {
+		p := &pts[i]
 		if !p.canRun {
 			fmt.Printf("%-18s %8s\n", p.d.Name(), "infeasible (fmax)")
 			continue
 		}
-		r := checkedRun(p.d)
+		r := results[jobOf[i]]
 		noc := dcl1.DesignNoC(cfg, p.d)
 		p.speed = r.IPC / base.IPC
 		p.miss = r.L1MissRate

@@ -85,11 +85,10 @@ func main() {
 		cfg.Sched = dcl1.Distributed
 	}
 
-	opts := dcl1.HealthOptions{
+	r, err := dcl1.Run(cfg, d, app, dcl1.WithHealth(dcl1.HealthOptions{
 		StallWindow: sim.Cycle(*stallWindow),
 		Deadline:    *deadline,
-	}
-	r, err := dcl1.RunChecked(cfg, d, app, opts)
+	}))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		writeDump(err, *dumpPath)

@@ -92,8 +92,8 @@ func replay(args []string) {
 		fatal("%v", err)
 	}
 	cfg := dcl1.Config{Cores: tr.Cores, MeasureCycles: *cycles}
-	opts := dcl1.HealthOptions{StallWindow: *stallWindow, Deadline: *deadline}
-	r, err := dcl1.RunWorkloadChecked(cfg, d, tr, opts)
+	r, err := dcl1.Run(cfg, d, tr,
+		dcl1.WithHealth(dcl1.HealthOptions{StallWindow: *stallWindow, Deadline: *deadline}))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		dcl1.WriteHealthDump(os.Stderr, err)

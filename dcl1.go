@@ -14,12 +14,19 @@
 //	ShY+CZ+Boost    NoC#1 at twice the interconnect clock (Section VI-C)
 //	CDXBar          hierarchical two-stage crossbar baseline (Section VIII-A)
 //
-// Quick start:
+// Quick start — Run is the single entry point; functional options select the
+// health layer, batch workers, cancellation, and engine knobs (see run.go):
 //
 //	app, _ := dcl1.AppByName("T-AlexNet")
-//	base := dcl1.Run(dcl1.Config{}, dcl1.Design{Kind: dcl1.Baseline}, app)
-//	ours := dcl1.Run(dcl1.Config{}, dcl1.Sh40C10Boost(), app)
+//	base, err := dcl1.Run(dcl1.Config{}, dcl1.Design{Kind: dcl1.Baseline}, app)
+//	ours, err := dcl1.Run(dcl1.Config{}, dcl1.Sh40C10Boost(), app,
+//		dcl1.WithHealth(dcl1.HealthOptions{Deadline: time.Minute}))
 //	fmt.Printf("speedup: %.2fx\n", ours.IPC/base.IPC)
+//
+// Batches go through RunMany, which spreads jobs across workers while keeping
+// every simulation deterministic:
+//
+//	results, errs := dcl1.RunMany(jobs, dcl1.WithWorkers(8), dcl1.WithContext(ctx))
 //
 // Measurements beyond IPC include L1/DC-L1 miss rates, cache-line
 // replication (ratio and replicas per line), data-port and NoC-link
@@ -81,14 +88,20 @@ const (
 	Insensitive          = workload.Insensitive
 )
 
-// Run executes app on the given machine and design and returns measurements.
-func Run(cfg Config, d Design, app AppSpec) Results { return runSource(cfg, d, app) }
-
 // LoadConfig reads a machine configuration from JSON (unknown fields are
 // rejected; omitted fields take the Table II defaults).
 func LoadConfig(r io.Reader) (Config, error) { return gpu.LoadConfig(r) }
 
-func runSource(cfg Config, d Design, w Workload) Results { return gpu.Run(cfg, d, w) }
+// mustRun is the legacy error-free run path behind the deprecated wrappers:
+// it delegates to the one-door Run and panics on error, matching the old
+// panic-on-invalid-input behavior of the unchecked entry points.
+func mustRun(cfg Config, d Design, w Workload) Results {
+	r, err := Run(cfg, d, w)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
 
 // Apps returns all 28 evaluated applications, sorted by name.
 func Apps() []AppSpec { return workload.Apps() }

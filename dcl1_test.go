@@ -14,6 +14,16 @@ func smallCfg() dcl1.Config {
 	}
 }
 
+// mustRun unwraps Run for tests that only exercise healthy configurations.
+func mustRun(tb testing.TB, cfg dcl1.Config, d dcl1.Design, w dcl1.Workload) dcl1.Results {
+	tb.Helper()
+	r, err := dcl1.Run(cfg, d, w)
+	if err != nil {
+		tb.Fatalf("Run(%s): %v", d.Name(), err)
+	}
+	return r
+}
+
 func TestPublicAppRegistry(t *testing.T) {
 	if n := len(dcl1.Apps()); n != 28 {
 		t.Fatalf("Apps() = %d, want 28", n)
@@ -48,11 +58,11 @@ func TestPublicDesignShorthands(t *testing.T) {
 
 func TestPublicRunEndToEnd(t *testing.T) {
 	app, _ := dcl1.AppByName("C-BFS")
-	base := dcl1.Run(smallCfg(), dcl1.Design{Kind: dcl1.Baseline}, app)
+	base := mustRun(t, smallCfg(), dcl1.Design{Kind: dcl1.Baseline}, app)
 	if base.IPC <= 0 || base.L1MissRate <= 0 {
 		t.Fatalf("degenerate baseline: %+v", base)
 	}
-	sh := dcl1.Run(smallCfg(), dcl1.Design{Kind: dcl1.Shared, DCL1s: 8}, app)
+	sh := mustRun(t, smallCfg(), dcl1.Design{Kind: dcl1.Shared, DCL1s: 8}, app)
 	if sh.ReplicationRatio > 0.01 {
 		t.Fatalf("shared design must eliminate replication, got %f", sh.ReplicationRatio)
 	}
@@ -83,7 +93,7 @@ func TestPublicSchedulerKnob(t *testing.T) {
 	app, _ := dcl1.AppByName("T-AlexNet")
 	cfg := smallCfg()
 	cfg.Sched = dcl1.Distributed
-	r := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+	r := mustRun(t, cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
 	if r.IPC <= 0 {
 		t.Fatal("distributed scheduler run failed")
 	}

@@ -7,9 +7,18 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"dcl1sim"
 )
+
+// must unwraps a Run result; these tiny configs never fail health checks.
+func must(r dcl1.Results, err error) dcl1.Results {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
 
 func main() {
 	cfg := dcl1.Config{WarmupCycles: 8000, MeasureCycles: 16000}
@@ -26,9 +35,9 @@ func main() {
 
 	for _, stride := range []int{1, 40} {
 		app := makeApp(stride)
-		base := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
-		sh := dcl1.Run(cfg, dcl1.Sh40(), app)
-		cl := dcl1.Run(cfg, dcl1.Sh40C10(), app)
+		base := must(dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app))
+		sh := must(dcl1.Run(cfg, dcl1.Sh40(), app))
+		cl := must(dcl1.Run(cfg, dcl1.Sh40C10(), app))
 		kind := "uniform (no camping)"
 		if stride > 1 {
 			kind = fmt.Sprintf("stride-%d (camps on one home)", stride)

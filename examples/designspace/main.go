@@ -5,9 +5,18 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"dcl1sim"
 )
+
+// must unwraps a Run result; these tiny configs never fail health checks.
+func must(r dcl1.Results, err error) dcl1.Results {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
 
 func main() {
 	// A custom replication-heavy kernel: most accesses hit a 1.5k-line
@@ -21,7 +30,7 @@ func main() {
 	}
 	cfg := dcl1.Config{WarmupCycles: 8000, MeasureCycles: 16000}
 
-	base := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+	base := must(dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app))
 	baseNoC := dcl1.DesignNoC(cfg, dcl1.Design{Kind: dcl1.Baseline})
 	fmt.Printf("baseline IPC %.2f, miss %.2f, repl %.2f\n\n", base.IPC, base.L1MissRate, base.ReplicationRatio)
 
@@ -29,7 +38,7 @@ func main() {
 	fmt.Printf("%-8s %8s %8s %10s %10s\n", "design", "speedup", "miss", "replicas", "NoC area")
 	for _, y := range []int{80, 40, 20, 10} {
 		d := dcl1.Design{Kind: dcl1.Private, DCL1s: y}
-		r := dcl1.Run(cfg, d, app)
+		r := must(dcl1.Run(cfg, d, app))
 		noc := dcl1.DesignNoC(cfg, d)
 		fmt.Printf("Pr%-6d %7.2fx %8.2f %10.2f %9.2fx\n",
 			y, r.IPC/base.IPC, r.L1MissRate, r.MeanReplicas, noc.Area()/baseNoC.Area())
@@ -42,12 +51,12 @@ func main() {
 		if z == 1 {
 			d = dcl1.Sh40()
 		}
-		r := dcl1.Run(cfg, d, app)
+		r := must(dcl1.Run(cfg, d, app))
 		noc := dcl1.DesignNoC(cfg, d)
 		fmt.Printf("Sh40+C%-3d %7.2fx %8.2f %10.2f %9.2fx\n",
 			z, r.IPC/base.IPC, r.L1MissRate, r.MeanReplicas, noc.Area()/baseNoC.Area())
 	}
 
-	boost := dcl1.Run(cfg, dcl1.Sh40C10Boost(), app)
+	boost := must(dcl1.Run(cfg, dcl1.Sh40C10Boost(), app))
 	fmt.Printf("\nSh40+C10+Boost: %.2fx speedup\n", boost.IPC/base.IPC)
 }

@@ -21,12 +21,18 @@ func main() {
 	cfg := dcl1.Config{WarmupCycles: 8000, MeasureCycles: 16000}
 	pair := dcl1.NewPartition(80, cnn, stream)
 
-	base := dcl1.RunWorkload(cfg, dcl1.Design{Kind: dcl1.Baseline}, pair)
+	base, err := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, pair)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("co-running %s (cores 0-39) with %s (cores 40-79)\n\n", cnn.Name, stream.Name)
 	fmt.Printf("%-18s %10s %10s\n", "design", "IPC ratio", "miss rate")
 	fmt.Printf("%-18s %10.2f %10.2f\n", "Baseline", 1.0, base.L1MissRate)
 	for _, d := range []dcl1.Design{dcl1.Sh40(), dcl1.Sh40C10Boost()} {
-		r := dcl1.RunWorkload(cfg, d, pair)
+		r, err := dcl1.Run(cfg, d, pair)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-18s %10.2f %10.2f\n", r.Design, r.IPC/base.IPC, r.L1MissRate)
 	}
 	fmt.Println("\nthe clustered design isolates the streamer's pollution to its own clusters;")

@@ -19,8 +19,14 @@ func main() {
 	// Shorter windows keep the example snappy.
 	cfg := dcl1.Config{WarmupCycles: 8000, MeasureCycles: 16000}
 
-	baseline := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
-	ours := dcl1.Run(cfg, dcl1.Sh40C10Boost(), app)
+	baseline, err := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ours, err := dcl1.Run(cfg, dcl1.Sh40C10Boost(), app)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("workload: %s (%s)\n\n", app.Name, app.Suite)
 	fmt.Printf("%-24s %12s %12s\n", "", "Baseline", "Sh40+C10+Boost")

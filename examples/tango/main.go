@@ -29,11 +29,17 @@ func main() {
 		if !ok {
 			log.Fatalf("app %s not found", name)
 		}
-		base := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+		base, err := dcl1.Run(cfg, dcl1.Design{Kind: dcl1.Baseline}, app)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%s: baseline replication %.0f%%, miss rate %.0f%%\n",
 			name, base.ReplicationRatio*100, base.L1MissRate*100)
 		for _, dd := range designs {
-			r := dcl1.Run(cfg, dd.d, app)
+			r, err := dcl1.Run(cfg, dd.d, app)
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  %-16s speedup %5.2fx   miss %4.0f%%   replicas/line %.1f\n",
 				dd.name, r.IPC/base.IPC, r.L1MissRate*100, r.MeanReplicas)
 		}

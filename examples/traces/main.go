@@ -40,7 +40,10 @@ func main() {
 	}
 	var baseIPC float64
 	for i, d := range designs {
-		r := dcl1.RunWorkload(cfg, d, loaded)
+		r, err := dcl1.Run(cfg, d, loaded)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if i == 0 {
 			baseIPC = r.IPC
 		}

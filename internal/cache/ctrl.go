@@ -157,6 +157,28 @@ func (c *Ctrl) Tick(now sim.Cycle) {
 	c.processRequests(now)
 }
 
+// NextWorkCycle implements sim.Sleeper. The controller has work when a
+// request or fill waits in its input queues, or when a hit reply matures in
+// the latency pipe; with all of those empty it can only be woken externally
+// (an MSHR miss outstanding below resolves via a FillIn push). A tick without
+// any of these updates only lastTick, which SkipIdle compensates.
+func (c *Ctrl) NextWorkCycle(now sim.Cycle) sim.Cycle {
+	if !c.In.Empty() || !c.FillIn.Empty() {
+		return now
+	}
+	if t, ok := c.pipe.NextReadyAt(); ok {
+		if t <= now {
+			return now
+		}
+		return t
+	}
+	return sim.WakeNever
+}
+
+// SkipIdle implements sim.IdleSkipper, keeping the lastTick watermark (used
+// by the invariant age audits) identical to what ticking would have left.
+func (c *Ctrl) SkipIdle(now sim.Cycle, n sim.Cycle) { c.lastTick = now }
+
 // drainPipe moves matured replies into Out, respecting backpressure.
 func (c *Ctrl) drainPipe(now sim.Cycle) {
 	for !c.Out.Full() {

@@ -224,6 +224,36 @@ func (c *Core) Tick(now sim.Cycle) {
 	c.issue(now)
 }
 
+// NextWorkCycle implements sim.Sleeper. The core has work whenever a reply
+// waits in In, a memory instruction is mid-expansion, the LSQ holds
+// transactions, or the issue stage is not asleep (sleepUntil tracks the
+// earliest compute-latency wake-up; unblocking events reset it, and the
+// external ones — reply arrivals — are visible here as a non-empty In).
+// While now < sleepUntil with all queues empty, Tick only advances
+// Stat.Cycles and Stat.StallNoReady, which SkipIdle compensates.
+func (c *Core) NextWorkCycle(now sim.Cycle) sim.Cycle {
+	if !c.In.Empty() || c.pendCount != 0 || !c.lsq.Empty() {
+		return now
+	}
+	if len(c.waves) == 0 {
+		return sim.WakeNever
+	}
+	if c.sleepUntil <= now {
+		return now
+	}
+	return c.sleepUntil
+}
+
+// SkipIdle implements sim.IdleSkipper: n skipped idle ticks each count one
+// cycle and (when the core has wavefronts to stall) one no-ready stall,
+// exactly as the skipped Ticks would have.
+func (c *Core) SkipIdle(now sim.Cycle, n sim.Cycle) {
+	c.Stat.Cycles += n
+	if len(c.waves) > 0 {
+		c.Stat.StallNoReady += n
+	}
+}
+
 // expandPending moves transactions of already-issued memory instructions
 // into the LSQ as space allows.
 func (c *Core) expandPending(now sim.Cycle) {

@@ -163,6 +163,21 @@ func (n *Node) Tick(now sim.Cycle) {
 	n.pumpOut()
 }
 
+// NextWorkCycle implements sim.Sleeper. The node has work when any bridge
+// queue feeding its pumps is non-empty (Q1/Q4 inbound, the cache's Out and
+// MissOut outbound); otherwise it sleeps exactly as long as its cache
+// controller does.
+func (n *Node) NextWorkCycle(now sim.Cycle) sim.Cycle {
+	if !n.Q1.Empty() || !n.Q4.Empty() || !n.Ctrl.Out.Empty() || !n.Ctrl.MissOut.Empty() {
+		return now
+	}
+	return n.Ctrl.NextWorkCycle(now)
+}
+
+// SkipIdle implements sim.IdleSkipper by forwarding to the cache controller
+// (the node itself keeps no per-cycle counters).
+func (n *Node) SkipIdle(now sim.Cycle, nc sim.Cycle) { n.Ctrl.SkipIdle(now, nc) }
+
 func bypasses(k mem.Kind) bool { return k == mem.NonL1 || k == mem.Atomic }
 
 func (n *Node) pumpIn() {

@@ -180,6 +180,42 @@ func (c *Channel) Tick(now sim.Cycle) {
 	c.inflight.Push(a, dataAt+t.TBurst)
 }
 
+// NextWorkCycle implements sim.Sleeper. The channel has work while requests
+// queue in In; otherwise its only future events are in-flight accesses
+// maturing and (when refresh is enabled) the next refresh boundary. A tick
+// with none of these due advances only Stat.Cycles and lastTick, which
+// SkipIdle compensates.
+func (c *Channel) NextWorkCycle(now sim.Cycle) sim.Cycle {
+	if !c.In.Empty() {
+		return now
+	}
+	wake := sim.WakeNever
+	if t, ok := c.inflight.NextReadyAt(); ok {
+		wake = t
+	}
+	if c.P.Timing.TREFI > 0 {
+		nr := c.nextRefresh
+		if nr == 0 {
+			// Lazily initialized on the first refresh-aware tick; the skipped
+			// initialization is a constant, so sleeping across it is safe.
+			nr = c.P.Timing.TREFI
+		}
+		if nr < wake {
+			wake = nr
+		}
+	}
+	if wake <= now {
+		return now
+	}
+	return wake
+}
+
+// SkipIdle implements sim.IdleSkipper.
+func (c *Channel) SkipIdle(now sim.Cycle, n sim.Cycle) {
+	c.Stat.Cycles += n
+	c.lastTick = now
+}
+
 // pickRequest returns the queue index of the request to service: the oldest
 // row-hit if any bank has one ready (first-ready), otherwise the oldest
 // request (FCFS). Returns -1 when nothing can issue.

@@ -138,8 +138,21 @@ type Context struct {
 	// Health configures the watchdog every simulation runs under. The zero
 	// value is the default stall window with no wall-clock deadline.
 	Health gpu.HealthOptions
+	// Workers sets the parallelism of RunExperiment's batched prefetch:
+	// with Workers > 1 the experiment's fresh simulations run concurrently
+	// (deduplicated against the memo) before the experiment assembles its
+	// table. 0 or 1 keeps the fully serial behavior.
+	Workers int
 
 	failures []Failure
+
+	// Collect mode (see prefetch): ctx.run records memo misses as jobs
+	// instead of simulating.
+	collecting   bool
+	pending      []gpu.Job
+	pendingKeys  []string
+	pendingNames [][2]string // design name, app label (for failure records)
+	pendingSeen  map[string]bool
 }
 
 // Failure records one simulation that aborted with a health error. The
@@ -184,6 +197,15 @@ func (ctx *Context) run(cfg gpu.Config, d gpu.Design, app workload.Source) gpu.R
 	if r, ok := ctx.memo[key]; ok {
 		return r
 	}
+	if ctx.collecting {
+		if !ctx.pendingSeen[key] {
+			ctx.pendingSeen[key] = true
+			ctx.pending = append(ctx.pending, gpu.Job{Cfg: cfg, D: d, App: app})
+			ctx.pendingKeys = append(ctx.pendingKeys, key)
+			ctx.pendingNames = append(ctx.pendingNames, [2]string{d.Name(), app.Label()})
+		}
+		return gpu.Results{}
+	}
 	r, err := gpu.RunChecked(cfg, d, app, ctx.Health)
 	if err != nil {
 		ctx.failures = append(ctx.failures, Failure{Design: d.Name(), App: app.Label(), Err: err})
@@ -203,6 +225,51 @@ func (ctx *Context) run(cfg gpu.Config, d gpu.Design, app workload.Source) gpu.R
 // runDefault runs on the context's base machine.
 func (ctx *Context) runDefault(d gpu.Design, app workload.Source) gpu.Results {
 	return ctx.run(ctx.Base, d, app)
+}
+
+// RunExperiment executes e, filling the memo through gpu.RunManyChecked when
+// Workers > 1: a collect pass replays the experiment against the memo and
+// records every miss as a job (deduplicated), the batch runs across Workers
+// goroutines, and the real pass then assembles the table entirely from the
+// memo. Each simulation stays single-threaded and deterministic, so the table
+// is bit-identical to a serial e.Run(ctx).
+func (ctx *Context) RunExperiment(e Experiment) *Table {
+	if ctx.Workers > 1 {
+		ctx.prefetch(e)
+	}
+	return e.Run(ctx)
+}
+
+// prefetch runs e in collect mode and executes the recorded memo misses as
+// one parallel batch. Failures are recorded exactly as the serial path does:
+// once per (design, app, config), with zero Results memoized so tables show
+// the hole.
+func (ctx *Context) prefetch(e Experiment) {
+	ctx.collecting = true
+	ctx.pendingSeen = map[string]bool{}
+	e.Run(ctx) // dry pass: simulates nothing, only records memo misses
+	ctx.collecting = false
+	jobs, keys, names := ctx.pending, ctx.pendingKeys, ctx.pendingNames
+	ctx.pending, ctx.pendingKeys, ctx.pendingNames, ctx.pendingSeen = nil, nil, nil, nil
+	if len(jobs) == 0 {
+		return
+	}
+	results, errs := gpu.RunManyChecked(jobs, ctx.Workers, ctx.Health)
+	for i, key := range keys {
+		if errs[i] != nil {
+			ctx.failures = append(ctx.failures, Failure{Design: names[i][0], App: names[i][1], Err: errs[i]})
+			if ctx.Progress != nil {
+				fmt.Fprintf(ctx.Progress, "  FAILED %-16s %-14s %v\n", names[i][0], names[i][1], errs[i])
+			}
+			ctx.memo[key] = gpu.Results{}
+			continue
+		}
+		if ctx.Progress != nil {
+			fmt.Fprintf(ctx.Progress, "  ran %-16s %-14s IPC=%.2f miss=%.2f\n",
+				names[i][0], names[i][1], results[i].IPC, results[i].L1MissRate)
+		}
+		ctx.memo[key] = results[i]
+	}
 }
 
 // scaledDesign adapts the canonical 80-core design shapes (40 DC-L1s, 10

@@ -120,6 +120,40 @@ func TestMemoization(t *testing.T) {
 	}
 }
 
+// TestRunExperimentParallelMatchesSerial pins the batched-prefetch contract:
+// a Workers>1 context produces tables bit-identical to the serial path, and
+// the real pass finds every run already memoized.
+func TestRunExperimentParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs simulation")
+	}
+	for _, id := range []string{"fig8", "fig14"} {
+		e, _ := ByID(id)
+		serial := QuickContext()
+		t1 := e.Run(serial)
+		par := QuickContext()
+		par.Workers = 4
+		t2 := par.RunExperiment(e)
+		if len(serial.Failures()) != 0 || len(par.Failures()) != 0 {
+			t.Fatalf("%s: unexpected failures: %v / %v", id, serial.Failures(), par.Failures())
+		}
+		if len(t1.Rows) != len(t2.Rows) {
+			t.Fatalf("%s: row counts differ: %d vs %d", id, len(t1.Rows), len(t2.Rows))
+		}
+		for i := range t1.Rows {
+			if t1.Rows[i].Label != t2.Rows[i].Label {
+				t.Fatalf("%s: row %d label %q vs %q", id, i, t1.Rows[i].Label, t2.Rows[i].Label)
+			}
+			for j := range t1.Rows[i].Cells {
+				if t1.Rows[i].Cells[j] != t2.Rows[i].Cells[j] {
+					t.Fatalf("%s: cell (%d,%d) differs: %v vs %v",
+						id, i, j, t1.Rows[i].Cells[j], t2.Rows[i].Cells[j])
+				}
+			}
+		}
+	}
+}
+
 func TestTableRenderAndCell(t *testing.T) {
 	tb := &Table{
 		ID: "x", Title: "demo", Columns: []string{"a", "b"},

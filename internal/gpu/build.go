@@ -295,20 +295,40 @@ func (s *System) buildL2AndDram() {
 	}
 }
 
+// queuePump moves accesses from a source queue through an injection function
+// at a bounded rate. It implements sim.Sleeper — an empty source queue means
+// a tick would do nothing — so the engine can skip it; it keeps no per-cycle
+// counters, so no SkipIdle compensation is needed.
+type queuePump struct {
+	q    *sim.Queue[*mem.Access]
+	rate int
+	try  func(a *mem.Access) bool
+}
+
+func (p *queuePump) Tick(sim.Cycle) {
+	for i := 0; i < p.rate; i++ {
+		a, ok := p.q.Peek()
+		if !ok {
+			return
+		}
+		if !p.try(a) {
+			return
+		}
+		p.q.Pop()
+	}
+}
+
+// NextWorkCycle implements sim.Sleeper.
+func (p *queuePump) NextWorkCycle(now sim.Cycle) sim.Cycle {
+	if p.q.Empty() {
+		return sim.WakeNever
+	}
+	return now
+}
+
 // pump returns a Ticker moving accesses from q through try, up to rate/cycle.
 func pump(q *sim.Queue[*mem.Access], rate int, try func(a *mem.Access) bool) sim.Ticker {
-	return sim.TickFunc(func(sim.Cycle) {
-		for i := 0; i < rate; i++ {
-			a, ok := q.Peek()
-			if !ok {
-				return
-			}
-			if !try(a) {
-				return
-			}
-			q.Pop()
-		}
-	})
+	return &queuePump{q: q, rate: rate, try: try}
 }
 
 func sink(q *sim.Queue[*mem.Access]) noc.Endpoint {

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"context"
 	"runtime/debug"
 	"time"
 
@@ -21,6 +22,15 @@ type HealthOptions struct {
 	// Deadline bounds the wall-clock time of the whole run (warmup plus
 	// measurement); 0 means unbounded.
 	Deadline time.Duration
+	// Ctx, when non-nil, cancels the run between watchdog slices: the run
+	// aborts with an error wrapping ctx.Err() (errors.Is-compatible with
+	// context.Canceled / context.DeadlineExceeded).
+	Ctx context.Context
+	// LegacyTick disables the engine's quiescence fast path, ticking every
+	// component on every clock edge as the original engine did. Results are
+	// bit-identical either way; the knob exists for validation and
+	// before/after benchmarking.
+	LegacyTick bool
 }
 
 // NewSystemChecked is NewSystem returning validation errors instead of
@@ -219,11 +229,15 @@ func (s *System) RunChecked(opts HealthOptions) (r Results, err error) {
 			}
 		}
 	}()
+	if opts.LegacyTick {
+		s.Eng.SetFastPath(false)
+	}
 	mon := s.NewMonitor()
 	ro := sim.RunOptions{
 		Monitor:     mon,
 		StallWindow: opts.StallWindow,
 		CheckEvery:  opts.CheckEvery,
+		Ctx:         opts.Ctx,
 	}
 	start := time.Now()
 	remaining := func() time.Duration {

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -52,6 +53,8 @@ func RunMany(jobs []Job, workers int) []Results {
 // progress watchdog, deadline, and invariant audit of opts, and errs[i]
 // carries job i's typed health error (nil on success). A wedged or crashing
 // job degrades into its error slot instead of hanging or killing the sweep.
+// A canceled opts.Ctx aborts running jobs at their next watchdog slice and
+// fails not-yet-started jobs immediately, so sweeps wind down cleanly.
 func RunManyChecked(jobs []Job, workers int, opts HealthOptions) (out []Results, errs []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -71,6 +74,10 @@ func RunManyChecked(jobs []Job, workers int, opts HealthOptions) (out []Results,
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if opts.Ctx != nil && opts.Ctx.Err() != nil {
+					errs[i] = fmt.Errorf("gpu: job %d canceled before start: %w", i, opts.Ctx.Err())
+					continue
+				}
 				out[i], errs[i] = RunChecked(jobs[i].Cfg, jobs[i].D, jobs[i].App, opts)
 			}
 		}()

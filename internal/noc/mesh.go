@@ -23,6 +23,11 @@ type Mesh struct {
 	routers   []meshRouter
 	endpoints []Endpoint
 	lastTick  sim.Cycle // most recent Tick cycle, for stuck-flit auditing
+
+	// pending counts packets anywhere in the mesh (input buffers or router
+	// transit) for the quiescence fast path; with zero pending, a tick only
+	// advances Stat.Cycles and lastTick.
+	pending int
 }
 
 // MeshParams configures a mesh.
@@ -133,7 +138,28 @@ func (m *Mesh) Inject(p *mem.Packet) bool {
 	if p.Flits <= 0 {
 		panic("noc: mesh packet with no flits")
 	}
-	return m.routers[p.Src].in[dirL].Push(&meshPacket{p: p})
+	if !m.routers[p.Src].in[dirL].Push(&meshPacket{p: p}) {
+		return false
+	}
+	m.pending++
+	return true
+}
+
+// NextWorkCycle implements sim.Sleeper: the mesh is busy while any packet is
+// buffered or in transit anywhere on the grid, and fully quiescent otherwise
+// (transits always mature into retries or deliveries before pending drops to
+// zero, so no future-cycle wake needs tracking).
+func (m *Mesh) NextWorkCycle(now sim.Cycle) sim.Cycle {
+	if m.pending > 0 {
+		return now
+	}
+	return sim.WakeNever
+}
+
+// SkipIdle implements sim.IdleSkipper.
+func (m *Mesh) SkipIdle(now sim.Cycle, n sim.Cycle) {
+	m.Stat.Cycles += n
+	m.lastTick = now
 }
 
 func (m *Mesh) xy(n int) (x, y int) { return n % m.P.W, n / m.P.W }
@@ -217,6 +243,7 @@ func (m *Mesh) Tick(now sim.Cycle) {
 					continue
 				}
 				r.pendingOut[tr.out]--
+				m.pending--
 				m.Stat.Packets++
 				m.Stat.HopsSum += int64(tr.mp.hops)
 				continue

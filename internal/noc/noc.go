@@ -108,6 +108,12 @@ type Crossbar struct {
 	staged    []*sim.Queue[*mem.Packet] // per-output staging (post-traversal)
 	endpoints []Endpoint
 	lastTick  sim.Cycle // most recent Tick cycle, for stuck-flit auditing
+
+	// Occupancy counters for the quiescence fast path: packets waiting in
+	// any VOQ and packets staged for delivery. With both zero the switch can
+	// only act on in-flight traversals maturing at a known cycle.
+	voqCount    int
+	stagedCount int
 }
 
 // New creates a crossbar. Endpoints must be attached with SetEndpoint before
@@ -163,6 +169,7 @@ func (x *Crossbar) Inject(p *mem.Packet) bool {
 		return false
 	}
 	x.voqBits[p.Dst][p.Src/64] |= 1 << uint(p.Src%64)
+	x.voqCount++
 	return true
 }
 
@@ -180,6 +187,30 @@ func (x *Crossbar) Tick(now sim.Cycle) {
 	x.arbitrate(now)
 }
 
+// NextWorkCycle implements sim.Sleeper. The switch has work while any packet
+// waits in a VOQ or staging queue; with both empty, the only future event is
+// the earliest in-flight traversal maturing. An idle tick advances only
+// Stat.Cycles and lastTick, which SkipIdle compensates.
+func (x *Crossbar) NextWorkCycle(now sim.Cycle) sim.Cycle {
+	if x.voqCount > 0 || x.stagedCount > 0 {
+		return now
+	}
+	if t, ok := x.inFlight.NextReadyAt(); ok {
+		if t <= now {
+			return now
+		}
+		return t
+	}
+	return sim.WakeNever
+}
+
+// SkipIdle implements sim.IdleSkipper. Stat.Cycles feeds OutUtilization, so
+// the compensation must be exact for results to stay bit-identical.
+func (x *Crossbar) SkipIdle(now sim.Cycle, n sim.Cycle) {
+	x.Stat.Cycles += n
+	x.lastTick = now
+}
+
 // deliverStaged pushes post-traversal packets into endpoints, in output-port
 // order (deterministic).
 func (x *Crossbar) deliverStaged() {
@@ -195,6 +226,7 @@ func (x *Crossbar) deliverStaged() {
 				break
 			}
 			q.Pop()
+			x.stagedCount--
 		}
 	}
 }
@@ -214,6 +246,7 @@ func (x *Crossbar) completeTraversals(now sim.Cycle) {
 		}
 		x.inFlight.PopReady(now)
 		x.staged[p.Dst].Push(p)
+		x.stagedCount++
 	}
 }
 
@@ -253,6 +286,7 @@ func (x *Crossbar) arbitrate(now sim.Cycle) {
 			}
 			q := x.voq[in][o]
 			p, _ := q.Pop()
+			x.voqCount--
 			if q.Empty() {
 				x.voqBits[o][in/64] &^= 1 << uint(in%64)
 			}

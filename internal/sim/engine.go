@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,6 +32,44 @@ type TickFunc func(cycle Cycle)
 // Tick implements Ticker.
 func (f TickFunc) Tick(cycle Cycle) { f(cycle) }
 
+// WakeNever is the NextWorkCycle result meaning "no internally scheduled
+// work": the component stays asleep until external input (a queue push from
+// another component) gives it something to do.
+const WakeNever Cycle = 1 << 62
+
+// wakeHorizon bounds finite wake cycles: anything at or beyond it is treated
+// as WakeNever, which keeps the cycle→picosecond conversion in the bulk
+// fast-forward free of int64 overflow.
+const wakeHorizon Cycle = 1 << 42
+
+// Sleeper is an optional Ticker extension for the quiescence fast path.
+// NextWorkCycle reports the earliest cycle of the owning clock at which the
+// component could possibly do anything beyond pure idle accounting:
+//
+//   - a result <= now means "tick me this cycle";
+//   - a result > now promises that every Tick in [now, result) would be a
+//     no-op except for counters compensated by SkipIdle (the engine may skip
+//     those ticks);
+//   - WakeNever promises idleness until external input arrives.
+//
+// The promise only needs to hold under the engine's re-evaluation rule:
+// NextWorkCycle is re-queried at every edge the component is considered on,
+// after all earlier work of that edge, so a push into the component's queues
+// is observed before the component would be skipped.
+type Sleeper interface {
+	NextWorkCycle(now Cycle) Cycle
+}
+
+// IdleSkipper is an optional companion to Sleeper for components whose idle
+// Tick still advances counters (cycle totals, stall counters, last-tick
+// watermarks). SkipIdle(now, n) must reproduce exactly the counter effects of
+// the n skipped idle Ticks ending at cycle now, keeping skipped runs
+// bit-identical to ticked ones. Components whose idle Tick changes nothing
+// need not implement it.
+type IdleSkipper interface {
+	SkipIdle(now Cycle, n Cycle)
+}
+
 // Clock is a named clock domain. Components registered on a clock are ticked
 // in registration order. Tick k of a clock with frequency f MHz occurs at
 // simulated time k*1e6/f picoseconds, computed exactly in integer arithmetic
@@ -40,7 +79,27 @@ type Clock struct {
 	mhz   int64
 	cycle Cycle
 	comps []Ticker
+
+	// Quiescence fast path (see Sleeper). sleepers/skippers parallel comps;
+	// a nil entry means the component never sleeps / needs no compensation.
+	sleepers    []Sleeper
+	skippers    []IdleSkipper
+	numSleepers int
+	// idle records that the most recent tick skipped every component, with
+	// idleUntil the minimum NextWorkCycle reported then (WakeNever if none
+	// finite). Any productive tick on any clock invalidates all idle flags.
+	idle      bool
+	idleUntil Cycle
+	// skipEval > 0 suppresses sleeper evaluation for that many edges after a
+	// fully busy edge: ticking every component is always legacy-exact, so
+	// this only trades idle-detection latency (a few edges) for near-zero
+	// fast-path overhead on saturated clocks.
+	skipEval int
 }
+
+// busyBackoff is how many edges a fully busy clock full-ticks before
+// re-evaluating its sleepers.
+const busyBackoff = 8
 
 // Name returns the clock's name.
 func (c *Clock) Name() string { return c.name }
@@ -57,13 +116,74 @@ func (c *Clock) nextEdgePs() int64 { return c.cycle * 1_000_000 / c.mhz }
 
 // Register adds a component to this clock domain. Components tick in the
 // order they were registered.
-func (c *Clock) Register(t Ticker) { c.comps = append(c.comps, t) }
+func (c *Clock) Register(t Ticker) {
+	c.comps = append(c.comps, t)
+	s, _ := t.(Sleeper)
+	k, _ := t.(IdleSkipper)
+	c.sleepers = append(c.sleepers, s)
+	c.skippers = append(c.skippers, k)
+	if s != nil {
+		c.numSleepers++
+	}
+	c.idle = false
+}
 
-func (c *Clock) tick() {
-	for _, t := range c.comps {
-		t.Tick(c.cycle)
+// tick advances the clock one edge and returns how many components actually
+// ticked. With the fast path off — or when any registered component is not a
+// Sleeper — every component ticks, exactly as the legacy engine did.
+//
+// With the fast path on, each component's NextWorkCycle is evaluated in
+// registration order, interleaved with the ticks of the non-sleeping
+// components, so a push from an earlier component this edge wakes a later one
+// before it would be skipped — the same visibility order as legacy ticking.
+func (c *Clock) tick(fast bool) int {
+	now := c.cycle
+	if !fast || c.numSleepers < len(c.comps) || c.skipEval > 0 {
+		if fast && c.skipEval > 0 {
+			c.skipEval--
+		}
+		for _, t := range c.comps {
+			t.Tick(now)
+		}
+		c.cycle++
+		c.idle = false
+		return len(c.comps)
+	}
+	ticked := 0
+	minWake := WakeNever
+	for i, t := range c.comps {
+		w := c.sleepers[i].NextWorkCycle(now)
+		if w <= now {
+			t.Tick(now)
+			ticked++
+			continue
+		}
+		if k := c.skippers[i]; k != nil {
+			k.SkipIdle(now, 1)
+		}
+		if w < minWake {
+			minWake = w
+		}
 	}
 	c.cycle++
+	c.idle = ticked == 0
+	c.idleUntil = minWake
+	if ticked == len(c.comps) && ticked > 0 {
+		c.skipEval = busyBackoff - 1
+	}
+	return ticked
+}
+
+// skipEdges advances the clock's counter over n edges without ticking,
+// compensating every component's idle counters for the skipped cycles.
+func (c *Clock) skipEdges(n Cycle) {
+	c.cycle += n
+	last := c.cycle - 1
+	for _, k := range c.skippers {
+		if k != nil {
+			k.SkipIdle(last, n)
+		}
+	}
 }
 
 // Engine owns a set of clock domains and advances them in global time order.
@@ -71,10 +191,28 @@ func (c *Clock) tick() {
 // order, which keeps runs deterministic.
 type Engine struct {
 	clocks []*Clock
+	fast   bool
 }
 
-// NewEngine returns an empty engine.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an empty engine with the quiescence fast path enabled.
+func NewEngine() *Engine { return &Engine{fast: true} }
+
+// SetFastPath toggles the quiescence fast path: skipping components whose
+// NextWorkCycle lies in the future and bulk fast-forwarding when every
+// component of every clock sleeps until a known wake cycle. Results are
+// bit-identical either way (the legacy always-tick path exists for
+// validation and benchmarking).
+func (e *Engine) SetFastPath(on bool) {
+	e.fast = on
+	if !on {
+		for _, c := range e.clocks {
+			c.idle = false
+		}
+	}
+}
+
+// FastPath reports whether the quiescence fast path is enabled.
+func (e *Engine) FastPath() bool { return e.fast }
 
 // NewClock creates and registers a clock domain with the given frequency in
 // MHz. It panics if mhz is not positive: a zero-frequency clock can never
@@ -103,6 +241,9 @@ func (e *Engine) RunUntil(ref *Clock, cycles Cycle) {
 		panic("sim: RunUntil on engine with no clocks")
 	}
 	for ref.cycle < cycles {
+		if e.fast && e.allIdle() && e.fastForward(ref, cycles) {
+			continue
+		}
 		next := e.clocks[0]
 		nt := next.nextEdgePs()
 		for _, c := range e.clocks[1:] {
@@ -110,8 +251,57 @@ func (e *Engine) RunUntil(ref *Clock, cycles Cycle) {
 				next, nt = c, t
 			}
 		}
-		next.tick()
+		if next.tick(e.fast) > 0 {
+			// A productive tick may have pushed work into any component on
+			// any clock: every cached idle verdict is stale.
+			for _, c := range e.clocks {
+				c.idle = false
+			}
+		}
 	}
+}
+
+// allIdle reports whether every clock's most recent edge skipped every
+// component. Between such edges no component ran, so no queue changed and the
+// cached idleUntil wake cycles are still valid.
+func (e *Engine) allIdle() bool {
+	for _, c := range e.clocks {
+		if !c.idle {
+			return false
+		}
+	}
+	return true
+}
+
+// fastForward bulk-skips every edge of every clock that lies strictly before
+// S = min(earliest possible wake time, ref's final edge of this run), in
+// picoseconds. Those edges form a prefix of the global (time, clock-order)
+// edge sequence, so skipping them wholesale preserves the exact interleaving
+// the legacy engine would have produced; edges at or after S — including any
+// same-picosecond ties — are left to the normal loop. Returns false when no
+// edge can be skipped.
+func (e *Engine) fastForward(ref *Clock, cycles Cycle) bool {
+	s := (cycles - 1) * 1_000_000 / ref.mhz
+	for _, c := range e.clocks {
+		if c.idleUntil < wakeHorizon {
+			if t := c.idleUntil * 1_000_000 / c.mhz; t < s {
+				s = t
+			}
+		}
+	}
+	advanced := false
+	for _, c := range e.clocks {
+		// Edges strictly before time s: edge k fires at floor(k*1e6/mhz), and
+		// floor(k*1e6/mhz) < s  ⇔  k*1e6 < s*mhz, so the first kept edge is
+		// ceil(s*mhz/1e6).
+		newCycle := (s*c.mhz + 999_999) / 1_000_000
+		if newCycle <= c.cycle {
+			continue
+		}
+		c.skipEdges(newCycle - c.cycle)
+		advanced = true
+	}
+	return advanced
 }
 
 // NowPs returns the earliest pending edge time in picoseconds — the current
@@ -150,6 +340,10 @@ type RunOptions struct {
 	// Deadline bounds the wall-clock time of the run; exceeding it aborts
 	// with a *health.DeadlineError. 0 means no deadline.
 	Deadline time.Duration
+	// Ctx, when non-nil, is checked between engine slices: a canceled
+	// context aborts the run with an error wrapping ctx.Err(), so sweeps can
+	// be stopped cleanly instead of only by wall-clock deadline.
+	Ctx context.Context
 }
 
 func (o RunOptions) withDefaults() RunOptions {
@@ -194,6 +388,11 @@ func (e *Engine) RunUntilChecked(ref *Clock, cycles Cycle, opts RunOptions) erro
 		opts.Monitor.Observe(ref.cycle)
 	}
 	for ref.cycle < cycles {
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return fmt.Errorf("sim: run canceled at %s cycle %d: %w", ref.name, ref.cycle, err)
+			}
+		}
 		target := ref.cycle + opts.CheckEvery
 		if target > cycles {
 			target = cycles

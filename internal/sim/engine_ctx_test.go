@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"dcl1sim/internal/health"
+)
+
+func TestRunUntilCheckedContextPreCanceled(t *testing.T) {
+	e := NewEngine()
+	clk := e.NewClock("core", 1000)
+	clk.Register(TickFunc(func(Cycle) {}))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.RunUntilChecked(clk, 1_000_000, RunOptions{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if clk.Now() != 0 {
+		t.Fatalf("pre-canceled run advanced to cycle %d", clk.Now())
+	}
+}
+
+func TestRunUntilCheckedContextMidRun(t *testing.T) {
+	// A component cancels the context partway through; the run must stop at
+	// the next watchdog slice, well before the target cycle.
+	e := NewEngine()
+	clk := e.NewClock("core", 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const cancelAt = 10_000
+	clk.Register(TickFunc(func(c Cycle) {
+		if c == cancelAt {
+			cancel()
+		}
+	}))
+	err := e.RunUntilChecked(clk, 1_000_000, RunOptions{Ctx: ctx, CheckEvery: 500})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if clk.Now() <= cancelAt || clk.Now() >= 1_000_000 {
+		t.Fatalf("canceled run stopped at cycle %d, want just past %d", clk.Now(), cancelAt)
+	}
+}
+
+func TestRunUntilCheckedContextHealthy(t *testing.T) {
+	// A live context must not perturb a healthy run: same landing cycle as an
+	// unchecked run, no error.
+	e := NewEngine()
+	clk := e.NewClock("core", 1400)
+	var count int64
+	clk.Register(TickFunc(func(Cycle) { count++ }))
+	m := health.NewMonitor()
+	m.AddProbe(health.Probe{Name: "counter", Sample: func() int64 { return count }})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := e.RunUntilChecked(clk, 20_000, RunOptions{Ctx: ctx, Monitor: m}); err != nil {
+		t.Fatalf("healthy run with live context errored: %v", err)
+	}
+	if clk.Now() != 20_000 || count != 20_000 {
+		t.Fatalf("cycle %d count %d, want 20000", clk.Now(), count)
+	}
+}

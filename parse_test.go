@@ -64,7 +64,7 @@ func TestTracePublicRoundTrip(t *testing.T) {
 	cfg.Cores = 4
 	cfg.L2Slices = 4
 	cfg.Channels = 2
-	r := dcl1.RunWorkload(cfg, dcl1.Design{Kind: dcl1.Baseline}, tr)
+	r := mustRun(t, cfg, dcl1.Design{Kind: dcl1.Baseline}, tr)
 	if r.IPC <= 0 {
 		t.Fatal("trace replay made no progress")
 	}

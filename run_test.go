@@ -1,0 +1,107 @@
+package dcl1_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dcl1sim"
+)
+
+// TestRunMatchesDeprecatedWrappers pins the one-door collapse: the deprecated
+// entry points must produce Results bit-identical to Run with the equivalent
+// options.
+func TestRunMatchesDeprecatedWrappers(t *testing.T) {
+	app, _ := dcl1.AppByName("T-AlexNet")
+	cfg := smallCfg()
+	d := dcl1.Design{Kind: dcl1.Shared, DCL1s: 8}
+
+	door := mustRun(t, cfg, d, app)
+	if legacy := dcl1.RunWorkload(cfg, d, app); !reflect.DeepEqual(door, legacy) {
+		t.Errorf("RunWorkload diverged from Run:\n%+v\n%+v", legacy, door)
+	}
+	checked, err := dcl1.RunChecked(cfg, d, app, dcl1.HealthOptions{})
+	if err != nil {
+		t.Fatalf("RunChecked: %v", err)
+	}
+	if !reflect.DeepEqual(door, checked) {
+		t.Errorf("RunChecked diverged from Run:\n%+v\n%+v", checked, door)
+	}
+}
+
+// TestRunWithLegacyTick pins the public face of the quiescence fast path:
+// WithLegacyTick selects the always-tick engine and the results stay
+// bit-identical.
+func TestRunWithLegacyTick(t *testing.T) {
+	app, _ := dcl1.AppByName("C-NN")
+	cfg := smallCfg()
+	d := dcl1.Sh40C10Boost()
+	d.DCL1s, d.Clusters = 8, 2
+	fast := mustRun(t, cfg, d, app)
+	legacy, err := dcl1.Run(cfg, d, app, dcl1.WithLegacyTick())
+	if err != nil {
+		t.Fatalf("legacy-tick run: %v", err)
+	}
+	if !reflect.DeepEqual(fast, legacy) {
+		t.Errorf("fast path diverged from legacy tick:\nfast:   %+v\nlegacy: %+v", fast, legacy)
+	}
+}
+
+func TestRunContextCanceled(t *testing.T) {
+	app, _ := dcl1.AppByName("T-AlexNet")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := dcl1.Run(smallCfg(), dcl1.Design{Kind: dcl1.Baseline}, app, dcl1.WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+}
+
+func TestRunManyContextCanceled(t *testing.T) {
+	app, _ := dcl1.AppByName("T-AlexNet")
+	jobs := make([]dcl1.Job, 4)
+	for i := range jobs {
+		jobs[i] = dcl1.Job{Cfg: smallCfg(), D: dcl1.Design{Kind: dcl1.Baseline}, App: app}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, errs := dcl1.RunMany(jobs, dcl1.WithContext(ctx))
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("job %d: expected context.Canceled, got %v", i, err)
+		}
+	}
+}
+
+// TestRunManyDeterminism pins the parallel-sweep contract: the same job list
+// yields identical Results slices regardless of worker count. Run under
+// -race, this also exercises the batch machinery for data races.
+func TestRunManyDeterminism(t *testing.T) {
+	cfg := smallCfg()
+	var jobs []dcl1.Job
+	for _, name := range []string{"T-AlexNet", "C-NN", "R-BP", "C-BFS"} {
+		app, ok := dcl1.AppByName(name)
+		if !ok {
+			t.Fatalf("unknown app %q", name)
+		}
+		for _, d := range []dcl1.Design{
+			{Kind: dcl1.Baseline},
+			{Kind: dcl1.Shared, DCL1s: 8},
+			{Kind: dcl1.Clustered, DCL1s: 8, Clusters: 2},
+		} {
+			jobs = append(jobs, dcl1.Job{Cfg: cfg, D: d, App: app})
+		}
+	}
+	serial, errs1 := dcl1.RunMany(jobs, dcl1.WithWorkers(1))
+	parallel, errs2 := dcl1.RunMany(jobs, dcl1.WithWorkers(runtime.GOMAXPROCS(0)))
+	for i := range jobs {
+		if errs1[i] != nil || errs2[i] != nil {
+			t.Fatalf("job %d errored: serial=%v parallel=%v", i, errs1[i], errs2[i])
+		}
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("RunMany results depend on worker count")
+	}
+}
