@@ -1,0 +1,44 @@
+package dcl1_test
+
+// Before/after benchmarks for the allocation-free saturated hot path: an
+// always-busy synthetic workload (no idle cycles for the quiescence engine to
+// skip) on the clustered shared design, reported as ns of wall-clock per
+// simulated core cycle. "pooled" is the default engine; "nopool" allocates
+// every Access/Packet fresh (WithNoPooling); "nopool-legacy" additionally
+// ticks every component on every edge — the closest flag-reachable stand-in
+// for the pre-optimization engine. Results are bit-identical across all
+// variants (TestPoolEquivalence); only speed differs. BENCH_baseline.json
+// records the committed numbers.
+
+import (
+	"testing"
+
+	"dcl1sim"
+)
+
+func benchSaturated(b *testing.B, opts ...dcl1.RunOption) {
+	b.Helper()
+	app, _ := dcl1.AppByName("C-BFS")
+	cfg := smallCfg()
+	d := dcl1.Design{Kind: dcl1.Clustered, DCL1s: 8, Clusters: 2}
+	simCycles := cfg.WarmupCycles + cfg.MeasureCycles
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := dcl1.Run(cfg, d, app, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && r.MeasuredCycles != cfg.MeasureCycles {
+			b.Fatalf("measured %d cycles, want %d", r.MeasuredCycles, cfg.MeasureCycles)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(simCycles)*int64(b.N)), "ns/sim-cycle")
+}
+
+func BenchmarkSaturated(b *testing.B) {
+	b.Run("pooled", func(b *testing.B) { benchSaturated(b) })
+	b.Run("nopool", func(b *testing.B) { benchSaturated(b, dcl1.WithNoPooling()) })
+	b.Run("nopool-legacy", func(b *testing.B) {
+		benchSaturated(b, dcl1.WithNoPooling(), dcl1.WithLegacyTick())
+	})
+}

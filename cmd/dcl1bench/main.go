@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,8 +33,18 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
 		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
 		workers     = flag.Int("workers", 1, "run each experiment's fresh simulations across this many goroutines (results are identical for any value)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (inspect with 'go tool pprof')")
 	)
 	flag.Parse()
+
+	finishProfiles := startProfiles(*cpuprofile, *memprofile)
+	exit := func(code int) {
+		finishProfiles()
+		os.Exit(code)
+	}
+	defer finishProfiles()
 
 	if *list || *run == "" {
 		fmt.Printf("%-10s %s\n", "ID", "TITLE")
@@ -66,7 +78,7 @@ func main() {
 		e, ok := experiments.ByID(strings.TrimSpace(id))
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-			os.Exit(1)
+			exit(1)
 		}
 		t0 := time.Now()
 		table := ctx.RunExperiment(e)
@@ -88,6 +100,46 @@ func main() {
 		for _, f := range fails {
 			fmt.Fprintf(os.Stderr, "  %s on %s: %v\n", f.App, f.Design, f.Err)
 		}
-		os.Exit(1)
+		exit(1)
+	}
+}
+
+// startProfiles starts the requested pprof profiles and returns the function
+// that finalizes them: it stops the CPU profile and snapshots the heap after a
+// final GC (so the memory profile shows live retained memory, not garbage).
+// Safe to call the returned function more than once.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}
 	}
 }

@@ -39,6 +39,11 @@ type Params struct {
 
 	// Queue capacities.
 	InCap, OutCap, MissCap, FillCap int
+
+	// Pool recycles the Access values the controller creates (MSHR fetches,
+	// writebacks, prefetches) and retires (consumed fills, silent prefetch
+	// waiters). Nil means plain allocation; results are identical either way.
+	Pool *mem.Pool
 }
 
 // withDefaults fills zero fields with safe defaults.
@@ -115,7 +120,7 @@ type Ctrl struct {
 
 	tracker Tracker
 	pipe    *sim.DelayQueue[*mem.Access] // hit replies / acks in flight
-	mshr    map[uint64]*mshrEntry
+	mshr    *mshrTable
 
 	lastTick sim.Cycle // most recent Tick cycle, for invariant age checks
 	ageBound sim.Cycle // MSHR age bound override (0 = DefaultMSHRAgeBound)
@@ -142,12 +147,12 @@ func New(p Params, id int, tracker Tracker) *Ctrl {
 		FillIn:  sim.NewQueue[*mem.Access](p.FillCap),
 		tracker: tracker,
 		pipe:    sim.NewDelayQueue[*mem.Access](),
-		mshr:    make(map[uint64]*mshrEntry),
+		mshr:    newMSHRTable(p.MSHRs, p.MaxMerge),
 	}
 }
 
 // MSHRInUse returns the number of allocated MSHR entries (for tests).
-func (c *Ctrl) MSHRInUse() int { return len(c.mshr) }
+func (c *Ctrl) MSHRInUse() int { return c.mshr.len() }
 
 // Tick advances the controller one cycle of its clock domain.
 func (c *Ctrl) Tick(now sim.Cycle) {
@@ -207,8 +212,8 @@ func (c *Ctrl) processFills(now sim.Cycle) {
 			c.FillIn.Pop()
 			c.Out.Push(a)
 		case mem.Load, mem.NonL1:
-			e, pending := c.mshr[a.Line]
-			if !pending {
+			e := c.mshr.get(a.Line)
+			if e == nil {
 				// A fill for a line with no waiters (e.g. the entry was
 				// satisfied by a racing path). Install and drop.
 				if !c.canInstall() {
@@ -216,6 +221,7 @@ func (c *Ctrl) processFills(now sim.Cycle) {
 				}
 				c.install(a.Line, false)
 				c.FillIn.Pop()
+				c.P.Pool.PutAccess(a) // fill consumed here
 				continue
 			}
 			// Need room to queue every waiter's reply and possibly a
@@ -233,11 +239,13 @@ func (c *Ctrl) processFills(now sim.Cycle) {
 			c.install(a.Line, dirty)
 			for _, w := range e.waiters {
 				if w.Core == PrefetchCore && w.Node == c.ID {
-					continue // own prefetch: fill installs silently
+					c.P.Pool.PutAccess(w) // own prefetch: fill installs silently
+					continue
 				}
 				c.pipe.Push(w.Reply(), now+1)
 			}
-			delete(c.mshr, a.Line)
+			c.mshr.remove(a.Line)
+			c.P.Pool.PutAccess(a) // fill consumed; waiters carry the replies
 		default:
 			// Non-L1 / atomic replies never reach a Ctrl (bypassed by nodes).
 			panic(fmt.Sprintf("cache %s: unexpected fill kind %v", c.P.Name, a.Kind))
@@ -266,7 +274,8 @@ func (c *Ctrl) install(line uint64, dirty bool) {
 		c.tracker.OnEvict(c.ID, victim)
 		if victimDirty && c.P.Policy == WriteBack {
 			c.Stat.Writebacks++
-			wb := &mem.Access{Kind: mem.Store, Line: victim, ReqBytes: mem.LineBytes, Core: -1}
+			wb := c.P.Pool.GetAccess()
+			wb.Kind, wb.Line, wb.ReqBytes, wb.Core = mem.Store, victim, mem.LineBytes, -1
 			c.MissOut.Push(wb) // canInstall guaranteed space
 		}
 	}
@@ -314,7 +323,7 @@ func (c *Ctrl) serveLoad(a *mem.Access, now sim.Cycle) bool {
 		return true
 	}
 	// Miss path: merge into an existing MSHR or allocate a new one.
-	if e, ok := c.mshr[a.Line]; ok {
+	if e := c.mshr.get(a.Line); e != nil {
 		if len(e.waiters) >= c.P.MaxMerge {
 			c.Stat.MSHRStalls++
 			return false
@@ -326,14 +335,16 @@ func (c *Ctrl) serveLoad(a *mem.Access, now sim.Cycle) bool {
 		c.noteReplication(a)
 		return true
 	}
-	if len(c.mshr) >= c.P.MSHRs || c.MissOut.Full() {
+	if c.mshr.len() >= c.P.MSHRs || c.MissOut.Full() {
 		c.Stat.MSHRStalls++
 		return false
 	}
-	c.mshr[a.Line] = &mshrEntry{waiters: []*mem.Access{a}, allocAt: now}
-	fetch := *a
+	e := c.mshr.insert(a.Line, now)
+	e.waiters = append(e.waiters, a)
+	fetch := c.P.Pool.GetAccess()
+	*fetch = *a
 	fetch.IsReply = false
-	c.MissOut.Push(&fetch)
+	c.MissOut.Push(fetch)
 	c.Stat.Loads++
 	c.Stat.LoadMisses++
 	c.noteReplication(a)
@@ -358,23 +369,20 @@ func (c *Ctrl) prefetchAfter(a *mem.Access, now sim.Cycle) {
 		if c.Arr.Contains(line) {
 			continue
 		}
-		if _, pending := c.mshr[line]; pending {
+		if c.mshr.get(line) != nil {
 			continue
 		}
-		if len(c.mshr) >= c.P.MSHRs || c.MissOut.Full() {
+		if c.mshr.len() >= c.P.MSHRs || c.MissOut.Full() {
 			return
 		}
-		pf := &mem.Access{
-			Kind:     mem.Load,
-			Line:     line,
-			ReqBytes: mem.LineBytes,
-			Core:     PrefetchCore,
-			Wave:     -1,
-			Node:     c.ID,
-		}
-		c.mshr[line] = &mshrEntry{waiters: []*mem.Access{pf}, allocAt: now}
-		fetch := *pf
-		c.MissOut.Push(&fetch)
+		pf := c.P.Pool.GetAccess()
+		pf.Kind, pf.Line, pf.ReqBytes = mem.Load, line, mem.LineBytes
+		pf.Core, pf.Wave, pf.Node = PrefetchCore, -1, c.ID
+		e := c.mshr.insert(line, now)
+		e.waiters = append(e.waiters, pf)
+		fetch := c.P.Pool.GetAccess()
+		*fetch = *pf
+		c.MissOut.Push(fetch)
 		c.Stat.Prefetches++
 	}
 }
@@ -399,8 +407,9 @@ func (c *Ctrl) serveStore(a *mem.Access, now sim.Cycle) bool {
 			c.Stat.Evictions++
 			c.tracker.OnEvict(c.ID, a.Line)
 		}
-		fwd := *a
-		c.MissOut.Push(&fwd)
+		// Forward the store itself: the caller pops it from In on return, so
+		// no copy is needed — the ACK comes back on this same Access.
+		c.MissOut.Push(a)
 		return true
 	case WriteBack:
 		if c.P.Perfect || c.Arr.MarkDirty(a.Line) {
@@ -411,7 +420,7 @@ func (c *Ctrl) serveStore(a *mem.Access, now sim.Cycle) bool {
 		}
 		// Write-allocate: fetch the line through the MSHR; the ACK is sent
 		// when the fill arrives.
-		if e, ok := c.mshr[a.Line]; ok {
+		if e := c.mshr.get(a.Line); e != nil {
 			if len(e.waiters) >= c.P.MaxMerge {
 				c.Stat.MSHRStalls++
 				return false
@@ -421,15 +430,17 @@ func (c *Ctrl) serveStore(a *mem.Access, now sim.Cycle) bool {
 			c.Stat.MSHRMerges++
 			return true
 		}
-		if len(c.mshr) >= c.P.MSHRs || c.MissOut.Full() {
+		if c.mshr.len() >= c.P.MSHRs || c.MissOut.Full() {
 			c.Stat.MSHRStalls++
 			return false
 		}
-		c.mshr[a.Line] = &mshrEntry{waiters: []*mem.Access{a}, allocAt: now}
-		fetch := *a
+		e := c.mshr.insert(a.Line, now)
+		e.waiters = append(e.waiters, a)
+		fetch := c.P.Pool.GetAccess()
+		*fetch = *a
 		fetch.Kind = mem.Load
 		fetch.IsReply = false
-		c.MissOut.Push(&fetch)
+		c.MissOut.Push(fetch)
 		c.Stat.Stores++
 		return true
 	default:

@@ -30,15 +30,15 @@ func (c *Ctrl) mshrAgeBound() sim.Cycle {
 func (c *Ctrl) CheckInvariants() []health.Violation {
 	var out []health.Violation
 	name := c.P.Name
-	if len(c.mshr) > c.P.MSHRs {
+	if c.mshr.len() > c.P.MSHRs {
 		out = append(out, health.Violation{
 			Component: name, Rule: "mshr-occupancy",
-			Detail: fmt.Sprintf("%d entries allocated, capacity %d", len(c.mshr), c.P.MSHRs),
+			Detail: fmt.Sprintf("%d entries allocated, capacity %d", c.mshr.len(), c.P.MSHRs),
 		})
 	}
 	overMerged, overAged := 0, 0
 	var oldest sim.Cycle = -1
-	for _, e := range c.mshr {
+	c.mshr.forEach(func(_ uint64, e *mshrEntry) {
 		if len(e.waiters) > c.P.MaxMerge {
 			overMerged++
 		}
@@ -48,7 +48,7 @@ func (c *Ctrl) CheckInvariants() []health.Violation {
 				oldest = age
 			}
 		}
-	}
+	})
 	if overMerged > 0 {
 		out = append(out, health.Violation{
 			Component: name, Rule: "mshr-overmerge",
@@ -77,18 +77,18 @@ func (c *Ctrl) CheckInvariants() []health.Violation {
 // reply pipe, allocated MSHRs).
 func (c *Ctrl) Pending() int {
 	return c.In.Len() + c.Out.Len() + c.MissOut.Len() + c.FillIn.Len() +
-		c.pipe.Len() + len(c.mshr)
+		c.pipe.Len() + c.mshr.len()
 }
 
 // DumpHealth snapshots the controller for a diagnostic dump. The bool result
 // marks the snapshot interesting (any pending work to explain).
 func (c *Ctrl) DumpHealth() (health.ComponentDump, bool) {
 	var oldest sim.Cycle
-	for _, e := range c.mshr {
+	c.mshr.forEach(func(_ uint64, e *mshrEntry) {
 		if age := c.lastTick - e.allocAt; age > oldest {
 			oldest = age
 		}
-	}
+	})
 	d := health.ComponentDump{
 		Name: c.P.Name,
 		Fields: []health.Field{
@@ -97,7 +97,7 @@ func (c *Ctrl) DumpHealth() (health.ComponentDump, bool) {
 			health.F("out", "%d/%d (pushes %d, pops %d)", c.Out.Len(), c.Out.Cap(), c.Out.PushCount, c.Out.PopCount),
 			health.F("missOut", "%d/%d (pushes %d, pops %d)", c.MissOut.Len(), c.MissOut.Cap(), c.MissOut.PushCount, c.MissOut.PopCount),
 			health.F("fillIn", "%d/%d (pushes %d, pops %d)", c.FillIn.Len(), c.FillIn.Cap(), c.FillIn.PushCount, c.FillIn.PopCount),
-			health.F("mshr", "%d/%d in use, oldest age %d", len(c.mshr), c.P.MSHRs, oldest),
+			health.F("mshr", "%d/%d in use, oldest age %d", c.mshr.len(), c.P.MSHRs, oldest),
 			health.F("replyPipe", "%d in flight", c.pipe.Len()),
 			health.F("stats", "loads %d, misses %d, stores %d, mshrStalls %d",
 				c.Stat.Loads, c.Stat.LoadMisses, c.Stat.Stores, c.Stat.MSHRStalls),

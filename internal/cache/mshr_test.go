@@ -1,0 +1,110 @@
+package cache
+
+import (
+	"testing"
+
+	"dcl1sim/internal/mem"
+	"dcl1sim/internal/sim"
+)
+
+func TestMSHRTableSizing(t *testing.T) {
+	cases := []struct{ capacity, wantSlots int }{
+		{1, 8}, {4, 8}, {5, 16}, {32, 64}, {33, 128}, {64, 128},
+	}
+	for _, c := range cases {
+		tb := newMSHRTable(c.capacity, 8)
+		if len(tb.slots) != c.wantSlots {
+			t.Errorf("capacity %d: %d slots, want %d", c.capacity, len(tb.slots), c.wantSlots)
+		}
+	}
+}
+
+func TestMSHRTableBasic(t *testing.T) {
+	tb := newMSHRTable(8, 4)
+	if tb.get(7) != nil {
+		t.Fatal("empty table must miss")
+	}
+	e := tb.insert(7, 100)
+	if e.allocAt != 100 || len(e.waiters) != 0 {
+		t.Fatalf("fresh entry: %+v", e)
+	}
+	a := &mem.Access{ID: 1}
+	e.waiters = append(e.waiters, a)
+	if got := tb.get(7); got == nil || len(got.waiters) != 1 || got.waiters[0] != a {
+		t.Fatal("get must return the inserted entry with its waiters")
+	}
+	if tb.len() != 1 {
+		t.Fatalf("len = %d", tb.len())
+	}
+	tb.remove(7)
+	if tb.get(7) != nil || tb.len() != 0 {
+		t.Fatal("removed entry must be gone")
+	}
+	// The recycled waiter slice must not pin the Access.
+	e2 := tb.insert(9, 200)
+	if len(e2.waiters) != 0 {
+		t.Fatal("recycled waiter slice must come back empty")
+	}
+}
+
+func TestMSHRTableRemoveAbsent(t *testing.T) {
+	tb := newMSHRTable(4, 4)
+	tb.insert(1, 0)
+	tb.remove(99) // absent: must be a no-op
+	if tb.len() != 1 || tb.get(1) == nil {
+		t.Fatal("remove of an absent line must not disturb the table")
+	}
+}
+
+// Randomized comparison against a plain map reference model, exercising the
+// backward-shift deletion across colliding probe chains. Sequential and
+// clustered line patterns mirror the GPU stride workloads the hash targets.
+func TestMSHRTableVsMapModel(t *testing.T) {
+	tb := newMSHRTable(32, 4)
+	ref := make(map[uint64]sim.Cycle)
+	rng := sim.NewRNG(12345)
+	for step := 0; step < 20000; step++ {
+		// Cluster lines so probe chains collide: 96 lines vs 64 slots.
+		line := uint64(rng.Intn(96))
+		switch {
+		case rng.Float64() < 0.5 && len(ref) < 32:
+			if _, ok := ref[line]; !ok {
+				at := sim.Cycle(step)
+				ref[line] = at
+				tb.insert(line, at)
+			}
+		case rng.Float64() < 0.7:
+			if at, ok := ref[line]; ok {
+				e := tb.get(line)
+				if e == nil || e.allocAt != at {
+					t.Fatalf("step %d: get(%d) = %v, want allocAt %d", step, line, e, at)
+				}
+			} else if tb.get(line) != nil {
+				t.Fatalf("step %d: get(%d) hit, want miss", step, line)
+			}
+		default:
+			delete(ref, line)
+			tb.remove(line)
+		}
+		if tb.len() != len(ref) {
+			t.Fatalf("step %d: len %d, want %d", step, tb.len(), len(ref))
+		}
+	}
+	// Final sweep: every reference entry is findable with the right payload.
+	for line, at := range ref {
+		e := tb.get(line)
+		if e == nil || e.allocAt != at {
+			t.Fatalf("final: get(%d) = %v, want allocAt %d", line, e, at)
+		}
+	}
+	seen := 0
+	tb.forEach(func(line uint64, e *mshrEntry) {
+		seen++
+		if at, ok := ref[line]; !ok || e.allocAt != at {
+			t.Fatalf("forEach visited unexpected line %d", line)
+		}
+	})
+	if seen != len(ref) {
+		t.Fatalf("forEach visited %d entries, want %d", seen, len(ref))
+	}
+}

@@ -77,6 +77,9 @@ type Params struct {
 	// oldest ready one. GTO improves intra-wavefront locality; RR (the
 	// default, as in the paper's baseline) spreads it.
 	GTO bool
+	// Pool recycles Access values: the core allocates every transaction from
+	// it and retires consumed replies back to it. Nil means plain allocation.
+	Pool *mem.Pool
 }
 
 func (p Params) withDefaults() Params {
@@ -148,8 +151,12 @@ type wave struct {
 	// In-flight memory instruction being expanded into the LSQ: remaining
 	// lines plus the op metadata. A wavefront with an active pending op
 	// cannot issue its next instruction (its LSU slot is occupied).
+	// pendNext indexes the next unexpanded line so pendLines keeps its
+	// backing array across instructions (re-slicing from the front would
+	// erode its capacity and force a reallocation per memory op).
 	pendActive   bool
 	pendLines    []uint64
+	pendNext     int
 	pendKind     mem.Kind
 	pendBytes    int
 	pendBlocking bool
@@ -264,23 +271,22 @@ func (c *Core) expandPending(now sim.Cycle) {
 		if !w.pendActive {
 			continue
 		}
-		for len(w.pendLines) > 0 && !c.lsq.Full() {
-			line := w.pendLines[0]
-			w.pendLines = w.pendLines[1:]
-			a := &mem.Access{
-				ID:       c.idNext(),
-				Kind:     w.pendKind,
-				Line:     line,
-				ReqBytes: w.pendBytes,
-				Core:     c.P.ID,
-				Wave:     w.id,
-				IssuedAt: now,
-			}
+		for w.pendNext < len(w.pendLines) && !c.lsq.Full() {
+			line := w.pendLines[w.pendNext]
+			w.pendNext++
+			a := c.P.Pool.GetAccess()
+			a.ID = c.idNext()
+			a.Kind = w.pendKind
+			a.Line = line
+			a.ReqBytes = w.pendBytes
+			a.Core = c.P.ID
+			a.Wave = w.id
+			a.IssuedAt = now
 			c.lsq.Push(a)
 			w.outstanding++
 			c.Stat.Transactions++
 		}
-		if len(w.pendLines) == 0 {
+		if w.pendNext >= len(w.pendLines) {
 			w.pendActive = false
 			c.pendCount--
 			switch {
@@ -328,6 +334,8 @@ func (c *Core) retire(now sim.Cycle) {
 			c.Stat.RTTCount++
 			c.Stat.RTT.Add(rtt)
 		}
+		// The reply is fully consumed: this is the Access's retirement point.
+		c.P.Pool.PutAccess(a)
 	}
 }
 
@@ -399,6 +407,7 @@ func (c *Core) issue(now sim.Cycle) {
 			w.pendActive = true
 			c.pendCount++
 			w.pendLines = append(w.pendLines[:0], op.Lines...)
+			w.pendNext = 0
 			w.pendKind = kindOf(op.Kind)
 			w.pendBytes = op.Bytes
 			w.pendBlocking = op.Blocking

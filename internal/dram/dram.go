@@ -111,6 +111,14 @@ type Channel struct {
 	inflight    *sim.DelayQueue[*mem.Access]
 	nextRefresh sim.Cycle
 	lastTick    sim.Cycle // most recent Tick cycle, for stuck-access auditing
+
+	// minReady caches the minimum readyAt across all banks. While now is
+	// below it, no queued request's bank can accept a command, so pickRequest
+	// would scan the whole queue and return -1 — the tick skips the scan.
+	// The skip is exact, not heuristic: min over all banks lower-bounds min
+	// over the requested banks. Recomputed lazily after any readyAt change.
+	minReady      sim.Cycle
+	minReadyDirty bool
 }
 
 // New builds a channel.
@@ -141,6 +149,21 @@ func (c *Channel) Tick(now sim.Cycle) {
 	// FR-FCFS: issue at most one column command per cycle. Bank operations
 	// overlap freely; only the data bursts serialize on the shared bus, so a
 	// command whose burst would collide is simply scheduled later.
+	if c.In.Empty() {
+		return
+	}
+	if c.minReadyDirty {
+		c.minReady = c.banks[0].readyAt
+		for i := 1; i < len(c.banks); i++ {
+			if c.banks[i].readyAt < c.minReady {
+				c.minReady = c.banks[i].readyAt
+			}
+		}
+		c.minReadyDirty = false
+	}
+	if now < c.minReady {
+		return // every bank busy: the queue scan cannot find an issuable request
+	}
 	idx := c.pickRequest(now)
 	if idx < 0 {
 		return
@@ -170,6 +193,7 @@ func (c *Channel) Tick(now sim.Cycle) {
 	// Serialize the burst on the channel data bus.
 	dataAt = maxCycle(dataAt, c.busBusy)
 	b.readyAt = dataAt + t.TBurst
+	c.minReadyDirty = true
 	c.busBusy = dataAt + t.TBurst
 	c.Stat.BusyBurst += int64(t.TBurst)
 	if a.Kind == mem.Store {
@@ -261,6 +285,7 @@ func (c *Channel) maybeRefresh(now sim.Cycle) {
 	}
 	c.nextRefresh += c.P.Timing.TREFI
 	c.Stat.Refreshes++
+	c.minReadyDirty = true
 	end := now + c.P.Timing.TRFC
 	for i := range c.banks {
 		b := &c.banks[i]

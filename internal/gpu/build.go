@@ -46,10 +46,24 @@ type System struct {
 	Map     dcl1.Mapping
 	AMap    mem.AddressMap
 	trim    bool
+
+	// Pool recycles Access and Packet values across the whole machine; nil
+	// disables pooling (WithoutPool). See DESIGN.md §10 for the ownership
+	// contract that makes both modes bit-identical.
+	Pool   *mem.Pool
+	noPool bool
 }
 
+// BuildOption adjusts how NewSystem assembles a machine.
+type BuildOption func(*System)
+
+// WithoutPool builds the system with pooling disabled: every Access/Packet
+// is allocated fresh and dropped to the garbage collector. Exists for the
+// pooled-vs-unpooled equivalence tests; simulated results are identical.
+func WithoutPool() BuildOption { return func(s *System) { s.noPool = true } }
+
 // NewSystem builds the machine for design d running app.
-func NewSystem(cfg Config, d Design, app workload.Source) *System {
+func NewSystem(cfg Config, d Design, app workload.Source, opts ...BuildOption) *System {
 	cfg = cfg.WithDefaults()
 	d = d.withDefaults(cfg)
 	validate(cfg, d)
@@ -62,6 +76,12 @@ func NewSystem(cfg Config, d Design, app workload.Source) *System {
 		AMap:    cfg.AddressMap(),
 		Tracker: cache.NewPresence(),
 		trim:    *d.TrimReplies,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if !s.noPool {
+		s.Pool = mem.NewPool()
 	}
 
 	noc1MHz := cfg.NoCMHz
@@ -173,6 +193,7 @@ func (s *System) buildCores() {
 			InCap:          16,
 			WavesPerCTA:    cfg.WavesPerCTA,
 			GTO:            cfg.GTO,
+			Pool:           s.Pool,
 		})
 		waves := s.App.WavesFor(c)
 		for w := 0; w < waves; w++ {
@@ -246,6 +267,7 @@ func (s *System) l1NodeParams(id int) dcl1.Params {
 			OutCap:         ctrlCap,
 			MissCap:        ctrlCap,
 			FillCap:        ctrlCap,
+			Pool:           s.Pool,
 		},
 		QueueCap:     qcap,
 		PumpPerCycle: pump,
@@ -279,6 +301,7 @@ func (s *System) buildL2AndDram() {
 			OutCap:     8,
 			MissCap:    8,
 			FillCap:    8,
+			Pool:       s.Pool,
 		}, 1000+i, nil)
 		s.L2 = append(s.L2, l2)
 		s.l2in = append(s.l2in, sim.NewQueue[*mem.Access](8))
@@ -331,8 +354,35 @@ func pump(q *sim.Queue[*mem.Access], rate int, try func(a *mem.Access) bool) sim
 	return &queuePump{q: q, rate: rate, try: try}
 }
 
-func sink(q *sim.Queue[*mem.Access]) noc.Endpoint {
-	return noc.EndpointFunc(func(p *mem.Packet) bool { return q.Push(p.Acc) })
+// sink delivers a packet's access into q and retires the packet shell. Every
+// crossbar/mesh packet is consumed at a sink (or rejected at inject), so the
+// sink is the single retirement point that keeps packet pooling leak-free.
+func (s *System) sink(q *sim.Queue[*mem.Access]) noc.Endpoint {
+	return noc.EndpointFunc(func(p *mem.Packet) bool {
+		if !q.Push(p.Acc) {
+			return false
+		}
+		s.Pool.PutPacket(p)
+		return true
+	})
+}
+
+// packetNet is any network accepting packet injections (Crossbar or Mesh).
+type packetNet interface {
+	Inject(*mem.Packet) bool
+}
+
+// inject wraps a in a pooled packet and offers it to x. A refused injection
+// (backpressure) returns the packet to the pool immediately, so the caller's
+// retry next cycle allocates nothing either.
+func (s *System) inject(x packetNet, a *mem.Access, src, dst, flits int) bool {
+	p := s.Pool.GetPacket()
+	p.Acc, p.Src, p.Dst, p.Flits = a, src, dst, flits
+	if !x.Inject(p) {
+		s.Pool.PutPacket(p)
+		return false
+	}
+	return true
 }
 
 func (s *System) xbar(name string, ins, outs int) *noc.Crossbar {
@@ -366,25 +416,19 @@ func (s *System) wireBaselineNoC() {
 		c := c
 		nd := s.Nodes[c]
 		s.Noc2Clk.Register(pump(nd.Q3, pumpRate, func(a *mem.Access) bool {
-			return req.Inject(&mem.Packet{
-				Acc: a, Src: c, Dst: s.AMap.L2Slice(a.Line),
-				Flits: reqFlits(a, s.D.FlitBytes, true),
-			})
+			return s.inject(req, a, c, s.AMap.L2Slice(a.Line), reqFlits(a, s.D.FlitBytes, true))
 		}))
-		rep.SetEndpoint(c, sink(nd.Q4))
+		rep.SetEndpoint(c, s.sink(nd.Q4))
 	}
 	for i := 0; i < cfg.L2Slices; i++ {
-		req.SetEndpoint(i, sink(s.l2in[i]))
+		req.SetEndpoint(i, s.sink(s.l2in[i]))
 	}
 	s.wireL2Replies(func(a *mem.Access, slice int) bool {
 		dst := a.Core
 		if a.Core == cache.PrefetchCore {
 			dst = a.Node
 		}
-		return rep.Inject(&mem.Packet{
-			Acc: a, Src: slice, Dst: dst,
-			Flits: replyFlits(a, s.D.FlitBytes, false, false),
-		})
+		return s.inject(rep, a, slice, dst, replyFlits(a, s.D.FlitBytes, false, false))
 	})
 }
 
@@ -402,7 +446,7 @@ func (s *System) wireNoC1() {
 			s.Noc1Rep = append(s.Noc1Rep, rep)
 			s.Noc1Clk.Register(req)
 			s.Noc1Clk.Register(rep)
-			req.SetEndpoint(0, sink(s.Nodes[n].Q1))
+			req.SetEndpoint(0, s.sink(s.Nodes[n].Q1))
 		}
 		for c := 0; c < cfg.Cores; c++ {
 			c := c
@@ -410,17 +454,15 @@ func (s *System) wireNoC1() {
 			req := s.Noc1Req[n]
 			src := c % per
 			s.Noc1Clk.Register(pump(s.Cores[c].Out, pumpRate, func(a *mem.Access) bool {
-				return req.Inject(&mem.Packet{Acc: a, Src: src, Dst: 0,
-					Flits: reqFlits(a, d.FlitBytes, false)})
+				return s.inject(req, a, src, 0, reqFlits(a, d.FlitBytes, false))
 			}))
-			s.Noc1Rep[n].SetEndpoint(src, sink(s.Cores[c].In))
+			s.Noc1Rep[n].SetEndpoint(src, s.sink(s.Cores[c].In))
 		}
 		for n := 0; n < d.DCL1s; n++ {
 			n := n
 			rep := s.Noc1Rep[n]
 			s.Noc1Clk.Register(pump(s.Nodes[n].Q2, pumpRate, func(a *mem.Access) bool {
-				return rep.Inject(&mem.Packet{Acc: a, Src: 0, Dst: a.Core % per,
-					Flits: replyFlits(a, d.FlitBytes, true, s.trim)})
+				return s.inject(rep, a, 0, a.Core%per, replyFlits(a, d.FlitBytes, true, s.trim))
 			}))
 		}
 	case Shared:
@@ -433,17 +475,15 @@ func (s *System) wireNoC1() {
 		for c := 0; c < cfg.Cores; c++ {
 			c := c
 			s.Noc1Clk.Register(pump(s.Cores[c].Out, pumpRate, func(a *mem.Access) bool {
-				return req.Inject(&mem.Packet{Acc: a, Src: c, Dst: s.Map.Home(c, a.Line),
-					Flits: reqFlits(a, d.FlitBytes, false)})
+				return s.inject(req, a, c, s.Map.Home(c, a.Line), reqFlits(a, d.FlitBytes, false))
 			}))
-			rep.SetEndpoint(c, sink(s.Cores[c].In))
+			rep.SetEndpoint(c, s.sink(s.Cores[c].In))
 		}
 		for n := 0; n < d.DCL1s; n++ {
 			n := n
-			req.SetEndpoint(n, sink(s.Nodes[n].Q1))
+			req.SetEndpoint(n, s.sink(s.Nodes[n].Q1))
 			s.Noc1Clk.Register(pump(s.Nodes[n].Q2, pumpRate, func(a *mem.Access) bool {
-				return rep.Inject(&mem.Packet{Acc: a, Src: n, Dst: a.Core,
-					Flits: replyFlits(a, d.FlitBytes, true, s.trim)})
+				return s.inject(rep, a, n, a.Core, replyFlits(a, d.FlitBytes, true, s.trim))
 			}))
 		}
 	case Clustered:
@@ -458,7 +498,7 @@ func (s *System) wireNoC1() {
 			s.Noc1Clk.Register(req)
 			s.Noc1Clk.Register(rep)
 			for j := 0; j < m; j++ {
-				req.SetEndpoint(j, sink(s.Nodes[cl*m+j].Q1))
+				req.SetEndpoint(j, s.sink(s.Nodes[cl*m+j].Q1))
 			}
 		}
 		for c := 0; c < cfg.Cores; c++ {
@@ -467,18 +507,16 @@ func (s *System) wireNoC1() {
 			req := s.Noc1Req[cl]
 			s.Noc1Clk.Register(pump(s.Cores[c].Out, pumpRate, func(a *mem.Access) bool {
 				local := s.Map.Home(c, a.Line) - cl*m
-				return req.Inject(&mem.Packet{Acc: a, Src: c % coresPer, Dst: local,
-					Flits: reqFlits(a, d.FlitBytes, false)})
+				return s.inject(req, a, c%coresPer, local, reqFlits(a, d.FlitBytes, false))
 			}))
-			s.Noc1Rep[cl].SetEndpoint(c%coresPer, sink(s.Cores[c].In))
+			s.Noc1Rep[cl].SetEndpoint(c%coresPer, s.sink(s.Cores[c].In))
 		}
 		for n := 0; n < d.DCL1s; n++ {
 			n := n
 			cl := n / m
 			rep := s.Noc1Rep[cl]
 			s.Noc1Clk.Register(pump(s.Nodes[n].Q2, pumpRate, func(a *mem.Access) bool {
-				return rep.Inject(&mem.Packet{Acc: a, Src: n % m, Dst: a.Core % coresPer,
-					Flits: replyFlits(a, d.FlitBytes, true, s.trim)})
+				return s.inject(rep, a, n%m, a.Core%coresPer, replyFlits(a, d.FlitBytes, true, s.trim))
 			}))
 		}
 	}
@@ -521,21 +559,19 @@ func (s *System) wireNoC2Flat() {
 	for n := 0; n < y; n++ {
 		n := n
 		s.Noc2Clk.Register(pump(s.Nodes[n].Q3, pumpRate, func(a *mem.Access) bool {
-			return req.Inject(&mem.Packet{Acc: a, Src: n, Dst: s.AMap.L2Slice(a.Line),
-				Flits: reqFlits(a, s.D.FlitBytes, true)})
+			return s.inject(req, a, n, s.AMap.L2Slice(a.Line), reqFlits(a, s.D.FlitBytes, true))
 		}))
-		rep.SetEndpoint(n, sink(s.Nodes[n].Q4))
+		rep.SetEndpoint(n, s.sink(s.Nodes[n].Q4))
 	}
 	for i := 0; i < cfg.L2Slices; i++ {
-		req.SetEndpoint(i, sink(s.l2in[i]))
+		req.SetEndpoint(i, s.sink(s.l2in[i]))
 	}
 	s.wireL2Replies(func(a *mem.Access, slice int) bool {
 		dst := s.Map.Home(a.Core, a.Line)
 		if a.Core == cache.PrefetchCore {
 			dst = a.Node
 		}
-		return rep.Inject(&mem.Packet{Acc: a, Src: slice, Dst: dst,
-			Flits: replyFlits(a, s.D.FlitBytes, false, false)})
+		return s.inject(rep, a, slice, dst, replyFlits(a, s.D.FlitBytes, false, false))
 	})
 }
 
@@ -554,7 +590,7 @@ func (s *System) wireNoC2Clustered() {
 		s.Noc2Clk.Register(rep)
 		// Output ports: L2 slices with slice%m == j, indexed by slice/m.
 		for k := 0; k < o; k++ {
-			req.SetEndpoint(k, sink(s.l2in[k*m+j]))
+			req.SetEndpoint(k, s.sink(s.l2in[k*m+j]))
 		}
 	}
 	for n := 0; n < d.DCL1s; n++ {
@@ -564,10 +600,9 @@ func (s *System) wireNoC2Clustered() {
 		req := s.Noc2Req[j]
 		s.Noc2Clk.Register(pump(s.Nodes[n].Q3, pumpRate, func(a *mem.Access) bool {
 			slice := s.AMap.L2Slice(a.Line)
-			return req.Inject(&mem.Packet{Acc: a, Src: cl, Dst: slice / m,
-				Flits: reqFlits(a, d.FlitBytes, true)})
+			return s.inject(req, a, cl, slice/m, reqFlits(a, d.FlitBytes, true))
 		}))
-		s.Noc2Rep[j].SetEndpoint(cl, sink(s.Nodes[n].Q4))
+		s.Noc2Rep[j].SetEndpoint(cl, s.sink(s.Nodes[n].Q4))
 	}
 	cmap := s.Map.(dcl1.ClusteredMap)
 	s.wireL2Replies(func(a *mem.Access, slice int) bool {
@@ -576,8 +611,7 @@ func (s *System) wireNoC2Clustered() {
 		if a.Core == cache.PrefetchCore {
 			dst = a.Node / m
 		}
-		return s.Noc2Rep[j].Inject(&mem.Packet{Acc: a, Src: slice / m, Dst: dst,
-			Flits: replyFlits(a, d.FlitBytes, false, false)})
+		return s.inject(s.Noc2Rep[j], a, slice/m, dst, replyFlits(a, d.FlitBytes, false, false))
 	})
 }
 
@@ -611,7 +645,7 @@ func (s *System) wireCDXBarNoC() {
 		s.Noc1Clk.Register(req)
 		s.Noc1Clk.Register(rep)
 		for j := 0; j < mid; j++ {
-			req.SetEndpoint(j, sink(midReq[gi][j]))
+			req.SetEndpoint(j, s.sink(midReq[gi][j]))
 		}
 	}
 	s.Noc1Req = s1req
@@ -626,7 +660,7 @@ func (s *System) wireCDXBarNoC() {
 		s.Noc2Clk.Register(req)
 		s.Noc2Clk.Register(rep)
 		for k := 0; k < o; k++ {
-			req.SetEndpoint(k, sink(s.l2in[k*mid+j]))
+			req.SetEndpoint(k, s.sink(s.l2in[k*mid+j]))
 		}
 	}
 	s.Noc2Req = s2req
@@ -639,10 +673,9 @@ func (s *System) wireCDXBarNoC() {
 		req := s1req[gi]
 		s.Noc1Clk.Register(pump(nd.Q3, pumpRate, func(a *mem.Access) bool {
 			slice := s.AMap.L2Slice(a.Line)
-			return req.Inject(&mem.Packet{Acc: a, Src: c % per, Dst: slice % mid,
-				Flits: reqFlits(a, d.FlitBytes, true)})
+			return s.inject(req, a, c%per, slice%mid, reqFlits(a, d.FlitBytes, true))
 		}))
-		s1rep[gi].SetEndpoint(c%per, sink(nd.Q4))
+		s1rep[gi].SetEndpoint(c%per, s.sink(nd.Q4))
 	}
 	for gi := 0; gi < g; gi++ {
 		gi := gi
@@ -651,8 +684,7 @@ func (s *System) wireCDXBarNoC() {
 			req2 := s2req[j]
 			s.Noc2Clk.Register(pump(midReq[gi][j], pumpRate, func(a *mem.Access) bool {
 				slice := s.AMap.L2Slice(a.Line)
-				return req2.Inject(&mem.Packet{Acc: a, Src: gi, Dst: slice / mid,
-					Flits: reqFlits(a, d.FlitBytes, true)})
+				return s.inject(req2, a, gi, slice/mid, reqFlits(a, d.FlitBytes, true))
 			}))
 			rep1 := s1rep[gi]
 			s.Noc1Clk.Register(pump(midRep[gi][j], pumpRate, func(a *mem.Access) bool {
@@ -660,15 +692,14 @@ func (s *System) wireCDXBarNoC() {
 				if a.Core == cache.PrefetchCore {
 					who = a.Node
 				}
-				return rep1.Inject(&mem.Packet{Acc: a, Src: j, Dst: who % per,
-					Flits: replyFlits(a, d.FlitBytes, false, false)})
+				return s.inject(rep1, a, j, who%per, replyFlits(a, d.FlitBytes, false, false))
 			}))
 		}
 	}
 	for j := 0; j < mid; j++ {
 		j := j
 		for gi := 0; gi < g; gi++ {
-			s2rep[j].SetEndpoint(gi, sink(midRep[gi][j]))
+			s2rep[j].SetEndpoint(gi, s.sink(midRep[gi][j]))
 		}
 	}
 	s.wireL2Replies(func(a *mem.Access, slice int) bool {
@@ -678,8 +709,7 @@ func (s *System) wireCDXBarNoC() {
 			who = a.Node
 		}
 		gi := who / per
-		return s2rep[j].Inject(&mem.Packet{Acc: a, Src: slice / mid, Dst: gi,
-			Flits: replyFlits(a, d.FlitBytes, false, false)})
+		return s.inject(s2rep[j], a, slice/mid, gi, replyFlits(a, d.FlitBytes, false, false))
 	})
 }
 
@@ -693,7 +723,8 @@ func (s *System) wireL2Replies(inject func(a *mem.Access, slice int) bool) {
 		s.Noc2Clk.Register(pump(s.l2in[i], pumpRate, s.L2[i].In.Push))
 		s.Noc2Clk.Register(pump(s.L2[i].Out, pumpRate, func(a *mem.Access) bool {
 			if a.Kind == mem.Store && a.Core == -1 {
-				return true // orphan writeback ACK: drop
+				s.Pool.PutAccess(a) // orphan writeback ACK: drop and retire
+				return true
 			}
 			return inject(a, i)
 		}))
@@ -712,7 +743,8 @@ func (s *System) wireMemSide() {
 		dc := dc
 		s.MemClk.Register(pump(dc.Out, pumpRate, func(a *mem.Access) bool {
 			if a.Kind == mem.Store && a.Core == -1 {
-				return true // orphan writeback ACK: drop
+				s.Pool.PutAccess(a) // orphan writeback ACK: drop and retire
+				return true
 			}
 			return s.L2[s.AMap.L2Slice(a.Line)].FillIn.Push(a)
 		}))

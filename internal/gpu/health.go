@@ -31,12 +31,16 @@ type HealthOptions struct {
 	// bit-identical either way; the knob exists for validation and
 	// before/after benchmarking.
 	LegacyTick bool
+	// NoPool disables Access/Packet recycling, allocating every value fresh
+	// as the original engine did. Results are bit-identical either way; the
+	// knob exists for the equivalence tests and before/after benchmarking.
+	NoPool bool
 }
 
 // NewSystemChecked is NewSystem returning validation errors instead of
 // panicking: configuration and topology problems come back as plain errors,
 // and any residual construction panic is wrapped in a *health.SimError.
-func NewSystemChecked(cfg Config, d Design, app workload.Source) (s *System, err error) {
+func NewSystemChecked(cfg Config, d Design, app workload.Source, opts ...BuildOption) (s *System, err error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,7 +58,7 @@ func NewSystemChecked(cfg Config, d Design, app workload.Source) (s *System, err
 			}
 		}
 	}()
-	return NewSystem(cfg, d, app), nil
+	return NewSystem(cfg, d, app, opts...), nil
 }
 
 // NewMonitor builds the health monitor for this system: one aggregate
@@ -285,7 +289,11 @@ func (s *System) healthClocks() []health.ClockState {
 // returning typed errors (validation, deadlock, deadline, invariant audit,
 // recovered panic) instead of hanging or crashing.
 func RunChecked(cfg Config, d Design, app workload.Source, opts HealthOptions) (Results, error) {
-	s, err := NewSystemChecked(cfg, d, app)
+	var bo []BuildOption
+	if opts.NoPool {
+		bo = append(bo, WithoutPool())
+	}
+	s, err := NewSystemChecked(cfg, d, app, bo...)
 	if err != nil {
 		return Results{}, err
 	}

@@ -48,24 +48,18 @@ func (s *System) wireMeshNoC() {
 		c := c
 		nd := s.Nodes[c]
 		s.Noc2Clk.Register(pump(nd.Q3, pumpRate, func(a *mem.Access) bool {
-			return req.Inject(&mem.Packet{
-				Acc: a, Src: c, Dst: l2Node(s.AMap.L2Slice(a.Line)),
-				Flits: reqFlits(a, s.D.FlitBytes, true),
-			})
+			return s.inject(req, a, c, l2Node(s.AMap.L2Slice(a.Line)), reqFlits(a, s.D.FlitBytes, true))
 		}))
-		rep.SetEndpoint(c, sink(nd.Q4))
+		rep.SetEndpoint(c, s.sink(nd.Q4))
 	}
 	for i := 0; i < cfg.L2Slices; i++ {
-		req.SetEndpoint(l2Node(i), sink(s.l2in[i]))
+		req.SetEndpoint(l2Node(i), s.sink(s.l2in[i]))
 	}
 	s.wireL2Replies(func(a *mem.Access, slice int) bool {
 		dst := a.Core
 		if a.Core == cache.PrefetchCore {
 			dst = a.Node
 		}
-		return rep.Inject(&mem.Packet{
-			Acc: a, Src: l2Node(slice), Dst: dst,
-			Flits: replyFlits(a, s.D.FlitBytes, false, false),
-		})
+		return s.inject(rep, a, l2Node(slice), dst, replyFlits(a, s.D.FlitBytes, false, false))
 	})
 }

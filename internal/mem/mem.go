@@ -71,11 +71,14 @@ type Access struct {
 	IssuedAt int64
 }
 
-// Reply returns a copy of a marked as a reply.
+// Reply marks a as a reply, in place, and returns it. Turning a request into
+// its reply reuses the same Access: every caller drops its reference to the
+// request after calling Reply (the request is popped or already owned), so no
+// copy is needed and the reply stays allocation-free. Callers that must keep
+// the request (MSHR fetch copies) copy explicitly before forwarding.
 func (a *Access) Reply() *Access {
-	r := *a
-	r.IsReply = true
-	return &r
+	a.IsReply = true
+	return a
 }
 
 // Packet wraps an Access for transport through one crossbar: Src and Dst are

@@ -1,0 +1,13 @@
+//go:build !pooldebug
+
+package mem
+
+// putGuard is the release-build no-op double-put detector. Build with
+// -tags pooldebug to compile in the checking version (pool_guard_on.go).
+type putGuard struct{}
+
+func (putGuard) init()               {}
+func (putGuard) getAccess(*Access)   {}
+func (putGuard) putAccess(*Access)   {}
+func (putGuard) getPacket(*Packet)   {}
+func (putGuard) putPacket(*Packet)   {}

@@ -1,0 +1,41 @@
+//go:build pooldebug
+
+package mem
+
+import "testing"
+
+// Run with: go test -tags pooldebug ./internal/mem/
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s must panic under pooldebug", what)
+		}
+	}()
+	f()
+}
+
+func TestGuardDoublePutAccess(t *testing.T) {
+	p := NewPool()
+	a := p.GetAccess()
+	p.PutAccess(a)
+	mustPanic(t, "double PutAccess", func() { p.PutAccess(a) })
+}
+
+func TestGuardDoublePutPacket(t *testing.T) {
+	p := NewPool()
+	k := p.GetPacket()
+	p.PutPacket(k)
+	mustPanic(t, "double PutPacket", func() { p.PutPacket(k) })
+}
+
+func TestGuardCleanCycleOK(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < 3; i++ {
+		a := p.GetAccess()
+		k := p.GetPacket()
+		p.PutPacket(k)
+		p.PutAccess(a)
+	}
+}

@@ -1,0 +1,85 @@
+package mem
+
+import "testing"
+
+func TestPoolRecyclesAccess(t *testing.T) {
+	p := NewPool()
+	a := p.GetAccess()
+	a.ID, a.Line, a.IsReply = 9, 42, true
+	p.PutAccess(a)
+	b := p.GetAccess()
+	if b != a {
+		t.Fatal("pool must hand back the recycled Access")
+	}
+	if b.ID != 0 || b.Line != 0 || b.IsReply {
+		t.Fatalf("recycled Access must be zeroed, got %+v", b)
+	}
+	if p.AccGets != 2 || p.AccNews != 1 || p.AccPuts != 1 {
+		t.Fatalf("counters gets=%d news=%d puts=%d", p.AccGets, p.AccNews, p.AccPuts)
+	}
+}
+
+func TestPoolRecyclesPacket(t *testing.T) {
+	p := NewPool()
+	a := &Access{ID: 1}
+	k := p.GetPacket()
+	k.Acc, k.Src, k.Dst, k.Flits = a, 3, 5, 2
+	p.PutPacket(k)
+	if k.Acc != nil {
+		t.Fatal("PutPacket must drop the Access reference")
+	}
+	k2 := p.GetPacket()
+	if k2 != k {
+		t.Fatal("pool must hand back the recycled Packet")
+	}
+	if k2.Src != 0 || k2.Dst != 0 || k2.Flits != 0 || k2.Acc != nil {
+		t.Fatalf("recycled Packet must be zeroed, got %+v", k2)
+	}
+}
+
+func TestPoolNilReceiver(t *testing.T) {
+	var p *Pool
+	a := p.GetAccess()
+	if a == nil {
+		t.Fatal("nil pool must still allocate")
+	}
+	p.PutAccess(a) // must be a no-op, not a crash
+	k := p.GetPacket()
+	if k == nil {
+		t.Fatal("nil pool must still allocate")
+	}
+	p.PutPacket(k)
+}
+
+func TestPoolLive(t *testing.T) {
+	p := NewPool()
+	a := p.GetAccess()
+	k := p.GetPacket()
+	acc, pkt := p.Live()
+	if acc != 1 || pkt != 1 {
+		t.Fatalf("Live() = %d, %d; want 1, 1", acc, pkt)
+	}
+	p.PutAccess(a)
+	p.PutPacket(k)
+	acc, pkt = p.Live()
+	if acc != 0 || pkt != 0 {
+		t.Fatalf("Live() after Put = %d, %d; want 0, 0", acc, pkt)
+	}
+}
+
+// Steady-state Get/Put cycles must not allocate (the free list absorbs them).
+func TestPoolSteadyStateAllocFree(t *testing.T) {
+	p := NewPool()
+	p.PutAccess(p.GetAccess())
+	p.PutPacket(p.GetPacket())
+	allocs := testing.AllocsPerRun(1000, func() {
+		a := p.GetAccess()
+		k := p.GetPacket()
+		k.Acc = a
+		p.PutPacket(k)
+		p.PutAccess(a)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state pool cycle allocates %.1f times", allocs)
+	}
+}

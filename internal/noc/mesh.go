@@ -28,6 +28,14 @@ type Mesh struct {
 	// transit) for the quiescence fast path; with zero pending, a tick only
 	// advances Stat.Cycles and lastTick.
 	pending int
+
+	// Free lists recycle the per-packet wrappers so a saturated mesh runs
+	// allocation-free: meshPackets live from Inject to local delivery,
+	// meshTransits from grant to completion. retryScratch is the per-router
+	// blocked-transit buffer, reused across routers and ticks.
+	freePkt      []*meshPacket
+	freeTr       []*meshTransit
+	retryScratch []*meshTransit
 }
 
 // MeshParams configures a mesh.
@@ -138,11 +146,43 @@ func (m *Mesh) Inject(p *mem.Packet) bool {
 	if p.Flits <= 0 {
 		panic("noc: mesh packet with no flits")
 	}
-	if !m.routers[p.Src].in[dirL].Push(&meshPacket{p: p}) {
+	mp := m.getMeshPacket(p)
+	if !m.routers[p.Src].in[dirL].Push(mp) {
+		m.putMeshPacket(mp)
 		return false
 	}
 	m.pending++
 	return true
+}
+
+func (m *Mesh) getMeshPacket(p *mem.Packet) *meshPacket {
+	if n := len(m.freePkt); n > 0 {
+		mp := m.freePkt[n-1]
+		m.freePkt = m.freePkt[:n-1]
+		mp.p, mp.hops = p, 0
+		return mp
+	}
+	return &meshPacket{p: p}
+}
+
+func (m *Mesh) putMeshPacket(mp *meshPacket) {
+	mp.p = nil
+	m.freePkt = append(m.freePkt, mp)
+}
+
+func (m *Mesh) getTransit(mp *meshPacket, out int, firstReady sim.Cycle) *meshTransit {
+	if n := len(m.freeTr); n > 0 {
+		tr := m.freeTr[n-1]
+		m.freeTr = m.freeTr[:n-1]
+		tr.mp, tr.out, tr.firstReady = mp, out, firstReady
+		return tr
+	}
+	return &meshTransit{mp: mp, out: out, firstReady: firstReady}
+}
+
+func (m *Mesh) putTransit(tr *meshTransit) {
+	tr.mp = nil
+	m.freeTr = append(m.freeTr, tr)
 }
 
 // NextWorkCycle implements sim.Sleeper: the mesh is busy while any packet is
@@ -229,7 +269,7 @@ func (m *Mesh) Tick(now sim.Cycle) {
 	// buffer, or to the endpoint for local outputs).
 	for n := range m.routers {
 		r := &m.routers[n]
-		var retry []*meshTransit
+		retry := m.retryScratch[:0]
 		for {
 			tr, ok := r.inflight.PopReady(now)
 			if !ok {
@@ -246,6 +286,8 @@ func (m *Mesh) Tick(now sim.Cycle) {
 				m.pending--
 				m.Stat.Packets++
 				m.Stat.HopsSum += int64(tr.mp.hops)
+				m.putMeshPacket(tr.mp)
+				m.putTransit(tr)
 				continue
 			}
 			nb := m.neighbor(n, tr.out)
@@ -258,12 +300,14 @@ func (m *Mesh) Tick(now sim.Cycle) {
 				continue
 			}
 			r.pendingOut[tr.out]--
+			m.putTransit(tr)
 		}
 		// Blocked transits retry next cycle; a stall on one output must not
 		// stall transits headed elsewhere.
 		for _, tr := range retry {
 			r.inflight.Push(tr, now+1)
 		}
+		m.retryScratch = retry[:0]
 	}
 	// Phase 2: arbitration. One grant per output port per router per cycle;
 	// a granted packet occupies the output for Flits cycles (serialization).
@@ -289,7 +333,7 @@ func (m *Mesh) Tick(now sim.Cycle) {
 				r.outBusy[out] = now + dur
 				r.pendingOut[out]++
 				ready := now + dur + m.P.RouterLat
-				r.inflight.Push(&meshTransit{mp: mp, out: out, firstReady: ready}, ready)
+				r.inflight.Push(m.getTransit(mp, out, ready), ready)
 				r.rr[out] = (in + 1) % numPorts
 				m.Stat.FlitHops += int64(mp.p.Flits)
 				break

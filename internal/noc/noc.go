@@ -12,6 +12,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dcl1sim/internal/mem"
 	"dcl1sim/internal/sim"
@@ -109,6 +110,16 @@ type Crossbar struct {
 	endpoints []Endpoint
 	lastTick  sim.Cycle // most recent Tick cycle, for stuck-flit auditing
 
+	// Summary bitmaps: per-cycle work scales with occupied ports, not port
+	// count. outPending marks outputs with >=1 waiting VOQ packet (voqPerOut
+	// tracks the exact count so the bit clears on the last pop); stagedBits
+	// marks outputs with staged packets. Arbitration and delivery iterate set
+	// bits in ascending order — the same order as the full port scan they
+	// replace, so results are bit-identical.
+	outPending []uint64
+	voqPerOut  []int32
+	stagedBits []uint64
+
 	// Occupancy counters for the quiescence fast path: packets waiting in
 	// any VOQ and packets staged for delivery. With both zero the switch can
 	// only act on in-flight traversals maturing at a known cycle.
@@ -144,6 +155,10 @@ func New(p Params) *Crossbar {
 	for o := range x.voqBits {
 		x.voqBits[o] = make([]uint64, words)
 	}
+	outWords := (p.Outs + 63) / 64
+	x.outPending = make([]uint64, outWords)
+	x.stagedBits = make([]uint64, outWords)
+	x.voqPerOut = make([]int32, p.Outs)
 	for o := range x.staged {
 		x.staged[o] = sim.NewQueue[*mem.Packet](p.OutDepth)
 	}
@@ -169,6 +184,8 @@ func (x *Crossbar) Inject(p *mem.Packet) bool {
 		return false
 	}
 	x.voqBits[p.Dst][p.Src/64] |= 1 << uint(p.Src%64)
+	x.outPending[p.Dst/64] |= 1 << uint(p.Dst%64)
+	x.voqPerOut[p.Dst]++
 	x.voqCount++
 	return true
 }
@@ -212,21 +229,26 @@ func (x *Crossbar) SkipIdle(now sim.Cycle, n sim.Cycle) {
 }
 
 // deliverStaged pushes post-traversal packets into endpoints, in output-port
-// order (deterministic).
+// order (deterministic: ascending set bits match the full-port scan).
 func (x *Crossbar) deliverStaged() {
-	for o := 0; o < x.P.Outs; o++ {
-		q := x.staged[o]
-		for {
-			p, ok := q.Peek()
-			if !ok {
-				break
+	for wi, w := range x.stagedBits {
+		for w != 0 {
+			o := wi*64 + bits.TrailingZeros64(w)
+			w &= w - 1
+			q := x.staged[o]
+			for {
+				p, ok := q.Peek()
+				if !ok {
+					x.stagedBits[wi] &^= 1 << uint(o%64)
+					break
+				}
+				ep := x.endpoints[o]
+				if ep == nil || !ep.Deliver(p) {
+					break
+				}
+				q.Pop()
+				x.stagedCount--
 			}
-			ep := x.endpoints[o]
-			if ep == nil || !ep.Deliver(p) {
-				break
-			}
-			q.Pop()
-			x.stagedCount--
 		}
 	}
 }
@@ -246,47 +268,38 @@ func (x *Crossbar) completeTraversals(now sim.Cycle) {
 		}
 		x.inFlight.PopReady(now)
 		x.staged[p.Dst].Push(p)
+		x.stagedBits[p.Dst/64] |= 1 << uint(p.Dst%64)
 		x.stagedCount++
 	}
 }
 
 // arbitrate performs one round of output-side round-robin matching. The
-// per-output occupancy bitmaps let the common sparse-traffic case skip empty
-// outputs and empty inputs in O(words) instead of O(ins).
+// occupancy bitmaps let per-cycle work scale with outputs that actually have
+// traffic: outputs iterate in ascending set-bit order (identical to the full
+// port scan), and the input pick walks set bits cyclically from the
+// round-robin pointer (identical to the wrapped linear scan).
 func (x *Crossbar) arbitrate(now sim.Cycle) {
-	for o := 0; o < x.P.Outs; o++ {
-		if x.outBusy[o] > now {
-			continue
-		}
-		bits := x.voqBits[o]
-		any := false
-		for _, w := range bits {
-			if w != 0 {
-				any = true
-				break
-			}
-		}
-		if !any {
-			continue
-		}
-		if x.staged[o].Space() == 0 {
-			continue // don't grant into a full stage
-		}
-		start := x.rr[o]
-		for k := 0; k < x.P.Ins; k++ {
-			in := start + k
-			if in >= x.P.Ins {
-				in -= x.P.Ins
-			}
-			if bits[in/64]&(1<<uint(in%64)) == 0 {
+	for wi, w := range x.outPending {
+		for w != 0 {
+			o := wi<<6 + bits.TrailingZeros64(w)
+			w &= w - 1
+			if x.outBusy[o] > now {
 				continue
 			}
-			if x.inBusy[in] > now {
+			if x.staged[o].Space() == 0 {
+				continue // don't grant into a full stage
+			}
+			in := x.pickInput(x.voqBits[o], x.rr[o], now)
+			if in < 0 {
 				continue
 			}
 			q := x.voq[in][o]
 			p, _ := q.Pop()
 			x.voqCount--
+			x.voqPerOut[o]--
+			if x.voqPerOut[o] == 0 {
+				x.outPending[wi] &^= 1 << uint(o&63)
+			}
 			if q.Empty() {
 				x.voqBits[o][in/64] &^= 1 << uint(in%64)
 			}
@@ -303,9 +316,47 @@ func (x *Crossbar) arbitrate(now sim.Cycle) {
 			x.Stat.FlitsMoved += int64(p.Flits)
 			x.Stat.InFlits[in] += int64(p.Flits)
 			x.Stat.OutFlits[o] += int64(p.Flits)
-			break
 		}
 	}
+}
+
+// pickInput returns the first input at or cyclically after start whose VOQ
+// toward this output holds a packet (bit set in bm) and whose input link is
+// free, or -1. The visit order is exactly the wrapped linear scan the round-
+// robin arbiter specifies; busy inputs are skipped, not waited on.
+func (x *Crossbar) pickInput(bm []uint64, start int, now sim.Cycle) int {
+	wi := start >> 6
+	w := bm[wi] &^ (1<<uint(start&63) - 1)
+	for {
+		for w != 0 {
+			in := wi<<6 + bits.TrailingZeros64(w)
+			if x.inBusy[in] <= now {
+				return in
+			}
+			w &= w - 1
+		}
+		wi++
+		if wi == len(bm) {
+			break
+		}
+		w = bm[wi]
+	}
+	// Wrap around: inputs [0, start).
+	last := start >> 6
+	for wi = 0; wi <= last; wi++ {
+		w = bm[wi]
+		if wi == last {
+			w &= 1<<uint(start&63) - 1
+		}
+		for w != 0 {
+			in := wi<<6 + bits.TrailingZeros64(w)
+			if x.inBusy[in] <= now {
+				return in
+			}
+			w &= w - 1
+		}
+	}
+	return -1
 }
 
 // Pending returns the number of packets buffered anywhere in the switch

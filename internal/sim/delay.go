@@ -1,13 +1,17 @@
 package sim
 
-import "container/heap"
-
 // DelayQueue releases items at or after a chosen cycle. It models fixed or
 // variable pipeline latencies (cache hit latency, DRAM data return, router
 // traversal). Items that become ready on the same cycle are released in
 // insertion order, keeping the simulation deterministic.
+//
+// The heap is hand-rolled rather than built on container/heap: the interface
+// methods box every delayItem through an interface{} on Push/Pop, which is a
+// heap allocation per call — on a saturated run that is one of the hottest
+// allocation sites in the whole simulator. The manual siftUp/siftDown keep
+// the identical (readyAt, seq) ordering.
 type DelayQueue[T any] struct {
-	h   delayHeap[T]
+	h   []delayItem[T]
 	seq int64
 }
 
@@ -17,40 +21,60 @@ type delayItem[T any] struct {
 	v       T
 }
 
-type delayHeap[T any] []delayItem[T]
-
-func (h delayHeap[T]) Len() int { return len(h) }
-func (h delayHeap[T]) Less(i, j int) bool {
-	if h[i].readyAt != h[j].readyAt {
-		return h[i].readyAt < h[j].readyAt
+// less orders by release cycle, then insertion order.
+func (d *DelayQueue[T]) less(i, j int) bool {
+	if d.h[i].readyAt != d.h[j].readyAt {
+		return d.h[i].readyAt < d.h[j].readyAt
 	}
-	return h[i].seq < h[j].seq
+	return d.h[i].seq < d.h[j].seq
 }
-func (h delayHeap[T]) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *delayHeap[T]) Push(x interface{}) { *h = append(*h, x.(delayItem[T])) }
-func (h *delayHeap[T]) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (d *DelayQueue[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !d.less(i, parent) {
+			return
+		}
+		d.h[i], d.h[parent] = d.h[parent], d.h[i]
+		i = parent
+	}
+}
+
+func (d *DelayQueue[T]) siftDown(i int) {
+	n := len(d.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && d.less(r, l) {
+			min = r
+		}
+		if !d.less(min, i) {
+			return
+		}
+		d.h[i], d.h[min] = d.h[min], d.h[i]
+		i = min
+	}
 }
 
 // NewDelayQueue returns an empty delay queue.
 func NewDelayQueue[T any]() *DelayQueue[T] { return &DelayQueue[T]{} }
 
 // Len returns the number of in-flight items.
-func (d *DelayQueue[T]) Len() int { return d.h.Len() }
+func (d *DelayQueue[T]) Len() int { return len(d.h) }
 
 // Push schedules v to become ready at cycle readyAt.
 func (d *DelayQueue[T]) Push(v T, readyAt Cycle) {
-	heap.Push(&d.h, delayItem[T]{readyAt: readyAt, seq: d.seq, v: v})
+	d.h = append(d.h, delayItem[T]{readyAt: readyAt, seq: d.seq, v: v})
 	d.seq++
+	d.siftUp(len(d.h) - 1)
 }
 
 // PeekReady reports whether an item is ready at cycle now, without removing it.
 func (d *DelayQueue[T]) PeekReady(now Cycle) (v T, ok bool) {
-	if d.h.Len() == 0 || d.h[0].readyAt > now {
+	if len(d.h) == 0 || d.h[0].readyAt > now {
 		return v, false
 	}
 	return d.h[0].v, true
@@ -58,17 +82,25 @@ func (d *DelayQueue[T]) PeekReady(now Cycle) (v T, ok bool) {
 
 // PopReady removes and returns the next item whose release cycle is <= now.
 func (d *DelayQueue[T]) PopReady(now Cycle) (v T, ok bool) {
-	if d.h.Len() == 0 || d.h[0].readyAt > now {
+	if len(d.h) == 0 || d.h[0].readyAt > now {
 		return v, false
 	}
-	it := heap.Pop(&d.h).(delayItem[T])
-	return it.v, true
+	v = d.h[0].v
+	n := len(d.h) - 1
+	d.h[0] = d.h[n]
+	var zero delayItem[T]
+	d.h[n] = zero // release the value for GC; the slot is reused by append
+	d.h = d.h[:n]
+	if n > 0 {
+		d.siftDown(0)
+	}
+	return v, true
 }
 
 // NextReadyAt returns the release cycle of the earliest item, or ok=false if
 // the queue is empty.
 func (d *DelayQueue[T]) NextReadyAt() (c Cycle, ok bool) {
-	if d.h.Len() == 0 {
+	if len(d.h) == 0 {
 		return 0, false
 	}
 	return d.h[0].readyAt, true

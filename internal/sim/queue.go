@@ -3,6 +3,14 @@ package sim
 // Queue is a bounded FIFO with backpressure, the basic plumbing between
 // pipeline stages. A capacity of 0 means unbounded (used only by statistics
 // sinks). The zero value is not usable; construct with NewQueue.
+//
+// Unbounded queues are a footgun under saturation: a sink that stops
+// draining grows its buffer forever. Two mitigations apply: the retained
+// buffer shrinks again once occupancy drops (maybeShrink), so a transient
+// burst does not pin memory for the rest of a sweep, and the health layer
+// flags sustained occupancy above UnboundedSoftCap (see CheckQueue) so a
+// non-draining sink surfaces as a warning instead of silent memory growth.
+// Bounded queues never grow: their buffer is preallocated at capacity.
 type Queue[T any] struct {
 	buf  []T
 	head int
@@ -88,6 +96,7 @@ func (q *Queue[T]) Pop() (v T, ok bool) {
 	q.head = (q.head + 1) % len(q.buf)
 	q.size--
 	q.PopCount++
+	q.maybeShrink()
 	return v, true
 }
 
@@ -107,7 +116,25 @@ func (q *Queue[T]) RemoveAt(i int) T {
 	q.buf[(q.head+q.size-1)%len(q.buf)] = zero
 	q.size--
 	q.PopCount++
+	q.maybeShrink()
 	return v
+}
+
+// maybeShrink halves an unbounded queue's retained buffer once occupancy
+// falls to a quarter of it, so a burst does not pin memory forever. The 64
+// floor avoids churn at small sizes; the 1/4 trigger keeps the cost
+// amortized O(1) against the growth that preceded it. Bounded queues never
+// shrink (their buffer is exactly the capacity).
+func (q *Queue[T]) maybeShrink() {
+	if q.cap > 0 || len(q.buf) <= 64 || q.size > len(q.buf)/4 {
+		return
+	}
+	nb := make([]T, len(q.buf)/2)
+	for i := 0; i < q.size; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
 }
 
 func (q *Queue[T]) grow() {

@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+func TestUnboundedQueueShrinksAfterBurst(t *testing.T) {
+	q := NewQueue[int](0)
+	const burst = 4096
+	for i := 0; i < burst; i++ {
+		if !q.Push(i) {
+			t.Fatal("unbounded queue must accept")
+		}
+	}
+	peak := len(q.buf)
+	if peak < burst {
+		t.Fatalf("buffer %d did not grow to burst %d", peak, burst)
+	}
+	for i := 0; i < burst; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d: got %d, %v", i, v, ok)
+		}
+	}
+	if len(q.buf) >= peak {
+		t.Fatalf("buffer still %d after drain (peak %d): burst memory stays pinned", len(q.buf), peak)
+	}
+	if len(q.buf) > 64*2 {
+		t.Fatalf("buffer %d did not shrink toward the floor", len(q.buf))
+	}
+}
+
+func TestBoundedQueueNeverShrinks(t *testing.T) {
+	q := NewQueue[int](128)
+	for i := 0; i < 128; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 128; i++ {
+		q.Pop()
+	}
+	if len(q.buf) != 128 {
+		t.Fatalf("bounded buffer resized to %d", len(q.buf))
+	}
+}
+
+func TestShrinkPreservesOrderAndWrap(t *testing.T) {
+	q := NewQueue[int](0)
+	next := 0 // next value to push
+	want := 0 // next value expected from Pop
+	// Interleave pushes and pops so head wraps, then drain below the shrink
+	// threshold repeatedly; FIFO order must survive every re-linearization.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 1000; i++ {
+			q.Push(next)
+			next++
+		}
+		for q.Len() > round*3 { // leave a varying remainder across rounds
+			v, ok := q.Pop()
+			if !ok || v != want {
+				t.Fatalf("round %d: got %d, %v; want %d", round, v, ok, want)
+			}
+			want++
+		}
+	}
+	for !q.Empty() {
+		v, _ := q.Pop()
+		if v != want {
+			t.Fatalf("drain: got %d, want %d", v, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d values, pushed %d", want, next)
+	}
+}

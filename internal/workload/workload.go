@@ -219,6 +219,12 @@ type gen struct {
 	computeLeft int
 	primed      bool
 	barrierDone bool
+
+	// scratch backs the Lines slice of the op most recently returned by Next.
+	// The core copies Lines at the issue site before calling Next again, and
+	// trace.Capture deep-copies, so reuse is safe and keeps the generator
+	// allocation-free in steady state.
+	scratch []uint64
 }
 
 // Next implements core.Program. The stream is infinite: runs use fixed
@@ -256,7 +262,8 @@ func (g *gen) memOp() core.Op {
 	}
 	if kind == core.OpNonL1 {
 		line := nonL1RegionBase + uint64(g.rng.Intn(nonL1Lines))
-		return core.Op{Kind: kind, Lines: []uint64{line}, Bytes: mem128()}
+		g.scratch = append(g.scratch[:0], line)
+		return core.Op{Kind: kind, Lines: g.scratch, Bytes: mem128()}
 	}
 	lines := g.dataLines()
 	blocking := false
@@ -268,10 +275,11 @@ func (g *gen) memOp() core.Op {
 
 func mem128() int { return 128 }
 
-// dataLines draws the coalesced target lines of one memory instruction.
+// dataLines draws the coalesced target lines of one memory instruction into
+// the generator's scratch buffer (see the scratch field for the contract).
 func (g *gen) dataLines() []uint64 {
 	n := g.spec.CoalescedLines
-	lines := make([]uint64, 0, n)
+	lines := g.scratch[:0]
 	if g.spec.SharedLines > 0 && g.rng.Float64() < g.spec.SharedFrac {
 		idx := g.sharedIndex()
 		stride := uint64(1)
@@ -283,6 +291,7 @@ func (g *gen) dataLines() []uint64 {
 			j := (idx + i) % g.spec.SharedLines
 			lines = append(lines, base+uint64(j)*stride)
 		}
+		g.scratch = lines
 		return lines
 	}
 	// Private streaming: sequential lines with wrap-around.
@@ -290,6 +299,7 @@ func (g *gen) dataLines() []uint64 {
 		lines = append(lines, g.privBase+(g.privCursor%uint64(g.spec.PrivateLines)))
 		g.privCursor++
 	}
+	g.scratch = lines
 	return lines
 }
 

@@ -17,6 +17,7 @@ type runConfig struct {
 	health  HealthOptions
 	ctx     context.Context
 	legacy  bool
+	noPool  bool
 	workers int
 }
 
@@ -51,6 +52,14 @@ func WithLegacyTick() RunOption {
 	return func(rc *runConfig) { rc.legacy = true }
 }
 
+// WithNoPooling disables the Access/Packet recycling pool, allocating every
+// value fresh as the original engine did. Results are bit-identical either
+// way; the knob exists for the equivalence tests and before/after
+// benchmarking (see DESIGN.md §10).
+func WithNoPooling() RunOption {
+	return func(rc *runConfig) { rc.noPool = true }
+}
+
 // healthOptions folds the option set into the gpu-level health options.
 func (rc *runConfig) healthOptions() HealthOptions {
 	h := rc.health
@@ -59,6 +68,9 @@ func (rc *runConfig) healthOptions() HealthOptions {
 	}
 	if rc.legacy {
 		h.LegacyTick = true
+	}
+	if rc.noPool {
+		h.NoPool = true
 	}
 	return h
 }
