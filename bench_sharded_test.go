@@ -1,0 +1,55 @@
+package dcl1_test
+
+// Benchmarks for the sharded tick executor: the identical simulation at
+// 1 (serial), 2, 4, and 8 shards, reported as ns of wall-clock per simulated
+// core cycle. "saturated" is the always-busy synthetic workload where the
+// executor earns its keep — every edge ticks many components, so spreading
+// them across shards shortens the edge. "drain" is the idle-heavy trace
+// replay where the quiescence fast-forward does the work and sharding must
+// not regress it (skipped edges dispatch nothing). Results are bit-identical
+// at every shard count (TestShardEquivalence); only speed may differ, and
+// speedup requires GOMAXPROCS > 1. BENCH_baseline.json records the committed
+// numbers together with the host's CPU count.
+
+import (
+	"fmt"
+	"testing"
+
+	"dcl1sim"
+)
+
+var benchShardCounts = []int{1, 2, 4, 8}
+
+func BenchmarkShardedSaturated(b *testing.B) {
+	for _, n := range benchShardCounts {
+		n := n
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			benchSaturated(b, dcl1.WithShards(n))
+		})
+	}
+}
+
+func BenchmarkShardedDrain(b *testing.B) {
+	app, _ := dcl1.AppByName("T-AlexNet")
+	tr := dcl1.CaptureTrace(app, 16, 40, dcl1.RoundRobin, 1)
+	cfg := smallCfg()
+	cfg.WarmupCycles, cfg.MeasureCycles = 1200, 60000
+	d := dcl1.Design{Kind: dcl1.Clustered, DCL1s: 8, Clusters: 2}
+	simCycles := cfg.WarmupCycles + cfg.MeasureCycles
+	for _, n := range benchShardCounts {
+		n := n
+		b.Run(fmt.Sprintf("shards-%d", n), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := dcl1.Run(cfg, d, tr, dcl1.WithShards(n))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 && r.MeasuredCycles != cfg.MeasureCycles {
+					b.Fatalf("measured %d cycles, want %d", r.MeasuredCycles, cfg.MeasureCycles)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(simCycles)*int64(b.N)), "ns/sim-cycle")
+		})
+	}
+}

@@ -33,6 +33,7 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
 		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
 		workers     = flag.Int("workers", 1, "run each experiment's fresh simulations across this many goroutines (results are identical for any value)")
+		shards      = flag.Int("shards", 1, "tick-execution shards inside each simulation; capped at GOMAXPROCS/workers in batches (results are identical for any value)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (inspect with 'go tool pprof')")
@@ -65,6 +66,7 @@ func main() {
 	ctx.Health.Deadline = *deadline
 	ctx.Health.StallWindow = *stallWindow
 	ctx.Workers = *workers
+	ctx.Health.Shards = *shards
 
 	var ids []string
 	if *run == "all" {

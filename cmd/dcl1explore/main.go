@@ -28,6 +28,7 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
 		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
 		workers     = flag.Int("workers", 1, "simulate sweep points across this many goroutines (results are identical for any value)")
+		shards      = flag.Int("shards", 1, "tick-execution shards inside each simulation; capped at GOMAXPROCS/workers (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -93,7 +94,7 @@ func main() {
 			jobs = append(jobs, dcl1.Job{Cfg: cfg, D: pts[i].d, App: app})
 		}
 	}
-	results, errs := dcl1.RunMany(jobs, dcl1.WithWorkers(*workers), dcl1.WithHealth(opts))
+	results, errs := dcl1.RunMany(jobs, dcl1.WithWorkers(*workers), dcl1.WithShards(*shards), dcl1.WithHealth(opts))
 	for i, err := range errs {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", jobs[i].D.Name(), err)

@@ -112,10 +112,10 @@ type Ctrl struct {
 	P       Params
 	ID      int // global cache id for the replication tracker
 	Arr     *Array
-	In      *sim.Queue[*mem.Access]
-	Out     *sim.Queue[*mem.Access]
-	MissOut *sim.Queue[*mem.Access]
-	FillIn  *sim.Queue[*mem.Access]
+	In      *sim.Port[*mem.Access]
+	Out     *sim.Port[*mem.Access]
+	MissOut *sim.Port[*mem.Access]
+	FillIn  *sim.Port[*mem.Access]
 	Stat    Stats
 
 	tracker Tracker
@@ -141,10 +141,10 @@ func New(p Params, id int, tracker Tracker) *Ctrl {
 		P:       p,
 		ID:      id,
 		Arr:     NewArray(p.Sets, p.Ways),
-		In:      sim.NewQueue[*mem.Access](p.InCap),
-		Out:     sim.NewQueue[*mem.Access](p.OutCap),
-		MissOut: sim.NewQueue[*mem.Access](p.MissCap),
-		FillIn:  sim.NewQueue[*mem.Access](p.FillCap),
+		In:      sim.NewPort[*mem.Access](p.InCap),
+		Out:     sim.NewPort[*mem.Access](p.OutCap),
+		MissOut: sim.NewPort[*mem.Access](p.MissCap),
+		FillIn:  sim.NewPort[*mem.Access](p.FillCap),
 		tracker: tracker,
 		pipe:    sim.NewDelayQueue[*mem.Access](),
 		mshr:    newMSHRTable(p.MSHRs, p.MaxMerge),

@@ -165,8 +165,8 @@ type wave struct {
 // Core is one compute unit.
 type Core struct {
 	P    Params
-	Out  *sim.Queue[*mem.Access] // memory requests toward the L1 / NoC#1
-	In   *sim.Queue[*mem.Access] // replies
+	Out  *sim.Port[*mem.Access] // memory requests toward the L1 / NoC#1
+	In   *sim.Port[*mem.Access] // replies
 	Stat Stats
 
 	waves  []*wave
@@ -189,8 +189,8 @@ func New(p Params) *Core {
 	p = p.withDefaults()
 	return &Core{
 		P:   p,
-		Out: sim.NewQueue[*mem.Access](p.OutCap),
-		In:  sim.NewQueue[*mem.Access](p.InCap),
+		Out: sim.NewPort[*mem.Access](p.OutCap),
+		In:  sim.NewPort[*mem.Access](p.InCap),
 		lsq: sim.NewQueue[*mem.Access](p.LSQCap),
 	}
 }

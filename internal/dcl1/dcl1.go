@@ -132,10 +132,10 @@ type Stats struct {
 type Node struct {
 	P    Params
 	Ctrl *cache.Ctrl
-	Q1   *sim.Queue[*mem.Access]
-	Q2   *sim.Queue[*mem.Access]
-	Q3   *sim.Queue[*mem.Access]
-	Q4   *sim.Queue[*mem.Access]
+	Q1   *sim.Port[*mem.Access]
+	Q2   *sim.Port[*mem.Access]
+	Q3   *sim.Port[*mem.Access]
+	Q4   *sim.Port[*mem.Access]
 	Stat Stats
 }
 
@@ -148,10 +148,10 @@ func New(p Params, tracker cache.Tracker) *Node {
 	return &Node{
 		P:    p,
 		Ctrl: cache.New(p.Cache, p.ID, tracker),
-		Q1:   sim.NewQueue[*mem.Access](p.QueueCap),
-		Q2:   sim.NewQueue[*mem.Access](p.QueueCap),
-		Q3:   sim.NewQueue[*mem.Access](p.QueueCap),
-		Q4:   sim.NewQueue[*mem.Access](p.QueueCap),
+		Q1:   sim.NewPort[*mem.Access](p.QueueCap),
+		Q2:   sim.NewPort[*mem.Access](p.QueueCap),
+		Q3:   sim.NewPort[*mem.Access](p.QueueCap),
+		Q4:   sim.NewPort[*mem.Access](p.QueueCap),
 	}
 }
 

@@ -102,8 +102,8 @@ type bank struct {
 //	Out  read replies and write ACKs
 type Channel struct {
 	P    Params
-	In   *sim.Queue[*mem.Access]
-	Out  *sim.Queue[*mem.Access]
+	In   *sim.Port[*mem.Access]
+	Out  *sim.Port[*mem.Access]
 	Stat Stats
 
 	banks       []bank
@@ -126,8 +126,8 @@ func New(p Params) *Channel {
 	p = p.withDefaults()
 	return &Channel{
 		P:        p,
-		In:       sim.NewQueue[*mem.Access](p.QueueCap),
-		Out:      sim.NewQueue[*mem.Access](p.QueueCap),
+		In:       sim.NewPort[*mem.Access](p.QueueCap),
+		Out:      sim.NewPort[*mem.Access](p.QueueCap),
 		banks:    make([]bank, p.Banks),
 		inflight: sim.NewDelayQueue[*mem.Access](),
 	}

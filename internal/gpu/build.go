@@ -31,7 +31,7 @@ type System struct {
 	Cores   []*core.Core
 	Nodes   []*dcl1.Node // private L1 nodes (Baseline/CDXBar) or DC-L1 nodes
 	L2      []*cache.Ctrl
-	l2in    []*sim.Queue[*mem.Access]
+	l2in    []*sim.Port[*mem.Access]
 	Drams   []*dram.Channel
 	Noc1Req []*noc.Crossbar
 	Noc1Rep []*noc.Crossbar
@@ -43,9 +43,13 @@ type System struct {
 	MeshRep *noc.Mesh
 
 	Tracker *cache.Presence
-	Map     dcl1.Mapping
-	AMap    mem.AddressMap
-	trim    bool
+	// stages defer each L1 node's replication-tracker mutations to the core
+	// clock's edge barrier (one per node, applied in node order), so tracker
+	// state never depends on intra-edge tick order. See cache.PresenceStage.
+	stages []*cache.PresenceStage
+	Map    dcl1.Mapping
+	AMap   mem.AddressMap
+	trim   bool
 
 	// Pool recycles Access and Packet values across the whole machine; nil
 	// disables pooling (WithoutPool). See DESIGN.md §10 for the ownership
@@ -201,6 +205,10 @@ func (s *System) buildCores() {
 		}
 		s.Cores = append(s.Cores, co)
 		s.CoreClk.Register(co)
+		// The core is the single producer of its Out port and ticks on the
+		// core clock. (In is attached by the design-specific wiring — its
+		// producer differs per topology.)
+		co.Out.Attach(s.CoreClk)
 	}
 }
 
@@ -277,10 +285,26 @@ func (s *System) l1NodeParams(id int) dcl1.Params {
 func (s *System) buildNodes() {
 	n := s.nodeCount()
 	for i := 0; i < n; i++ {
-		nd := dcl1.New(s.l1NodeParams(i), s.Tracker)
+		st := cache.NewPresenceStage(s.Tracker)
+		s.stages = append(s.stages, st)
+		nd := dcl1.New(s.l1NodeParams(i), st)
 		s.Nodes = append(s.Nodes, nd)
 		s.CoreClk.Register(nd)
+		// The node produces Q2 (replies toward cores) and Q3 (misses toward
+		// NoC#2) on the core clock. Q1/Q4 are attached by the wiring that
+		// creates their producers. The node's internal Ctrl queues stay in
+		// immediate mode: a single component owns both ends.
+		nd.Q2.Attach(s.CoreClk)
+		nd.Q3.Attach(s.CoreClk)
 	}
+	// Apply every node's staged replication-tracker ops at the core clock's
+	// edge barrier, in node order — the one piece of cross-node state that
+	// cannot be partitioned across shards.
+	s.CoreClk.OnBarrier(func() {
+		for _, st := range s.stages {
+			st.Apply()
+		}
+	})
 }
 
 func (s *System) buildL2AndDram() {
@@ -304,8 +328,19 @@ func (s *System) buildL2AndDram() {
 			Pool:       s.Pool,
 		}, 1000+i, nil)
 		s.L2 = append(s.L2, l2)
-		s.l2in = append(s.l2in, sim.NewQueue[*mem.Access](8))
+		in := sim.NewPort[*mem.Access](8)
+		s.l2in = append(s.l2in, in)
 		s.Noc2Clk.Register(l2)
+		// Port producers, identical across designs: the L2 controller emits
+		// Out/MissOut on the NoC#2 clock; l2in is fed by the request network
+		// (or the SingleL1 miss pump), always on the NoC#2 clock; L2.In by
+		// the l2in pump (NoC#2 clock); FillIn by the DRAM reply pump (memory
+		// clock).
+		l2.Out.Attach(s.Noc2Clk)
+		l2.MissOut.Attach(s.Noc2Clk)
+		l2.In.Attach(s.Noc2Clk)
+		l2.FillIn.Attach(s.MemClk)
+		in.Attach(s.Noc2Clk)
 	}
 	for ch := 0; ch < cfg.Channels; ch++ {
 		dc := dram.New(dram.Params{
@@ -315,6 +350,7 @@ func (s *System) buildL2AndDram() {
 		})
 		s.Drams = append(s.Drams, dc)
 		s.MemClk.Register(dc)
+		dc.Out.Attach(s.MemClk)
 	}
 }
 
@@ -323,7 +359,7 @@ func (s *System) buildL2AndDram() {
 // a tick would do nothing — so the engine can skip it; it keeps no per-cycle
 // counters, so no SkipIdle compensation is needed.
 type queuePump struct {
-	q    *sim.Queue[*mem.Access]
+	q    *sim.Port[*mem.Access]
 	rate int
 	try  func(a *mem.Access) bool
 }
@@ -350,14 +386,51 @@ func (p *queuePump) NextWorkCycle(now sim.Cycle) sim.Cycle {
 }
 
 // pump returns a Ticker moving accesses from q through try, up to rate/cycle.
-func pump(q *sim.Queue[*mem.Access], rate int, try func(a *mem.Access) bool) sim.Ticker {
+func pump(q *sim.Port[*mem.Access], rate int, try func(a *mem.Access) bool) sim.Ticker {
 	return &queuePump{q: q, rate: rate, try: try}
+}
+
+// multiPump drains several source ports into one destination in fixed source
+// order, up to rate accesses per source per cycle. It exists because an
+// attached port admits exactly one producer component: where many logical
+// sources feed one queue (all cores into the SingleL1 node, all of a DRAM
+// channel's slices into its In port), the fan-in must be a single ticker so
+// the destination's staging buffer is never written concurrently.
+type multiPump struct {
+	srcs []*sim.Port[*mem.Access]
+	rate int
+	try  func(a *mem.Access) bool
+}
+
+func (p *multiPump) Tick(sim.Cycle) {
+	for _, q := range p.srcs {
+		for i := 0; i < p.rate; i++ {
+			a, ok := q.Peek()
+			if !ok {
+				break
+			}
+			if !p.try(a) {
+				break
+			}
+			q.Pop()
+		}
+	}
+}
+
+// NextWorkCycle implements sim.Sleeper.
+func (p *multiPump) NextWorkCycle(now sim.Cycle) sim.Cycle {
+	for _, q := range p.srcs {
+		if !q.Empty() {
+			return now
+		}
+	}
+	return sim.WakeNever
 }
 
 // sink delivers a packet's access into q and retires the packet shell. Every
 // crossbar/mesh packet is consumed at a sink (or rejected at inject), so the
 // sink is the single retirement point that keeps packet pooling leak-free.
-func (s *System) sink(q *sim.Queue[*mem.Access]) noc.Endpoint {
+func (s *System) sink(q *sim.Port[*mem.Access]) noc.Endpoint {
 	return noc.EndpointFunc(func(p *mem.Packet) bool {
 		if !q.Push(p.Acc) {
 			return false
@@ -399,6 +472,8 @@ func (s *System) wireLocalL1() {
 		co, nd := s.Cores[c], s.Nodes[c]
 		s.CoreClk.Register(pump(co.Out, pumpRate, nd.Q1.Push))
 		s.CoreClk.Register(pump(nd.Q2, pumpRate, co.In.Push))
+		nd.Q1.Attach(s.CoreClk)
+		co.In.Attach(s.CoreClk)
 	}
 }
 
@@ -412,6 +487,8 @@ func (s *System) wireBaselineNoC() {
 	s.Noc2Rep = []*noc.Crossbar{rep}
 	s.Noc2Clk.Register(req)
 	s.Noc2Clk.Register(rep)
+	req.AttachPorts(s.Noc2Clk)
+	rep.AttachPorts(s.Noc2Clk)
 	for c := 0; c < cfg.Cores; c++ {
 		c := c
 		nd := s.Nodes[c]
@@ -419,6 +496,7 @@ func (s *System) wireBaselineNoC() {
 			return s.inject(req, a, c, s.AMap.L2Slice(a.Line), reqFlits(a, s.D.FlitBytes, true))
 		}))
 		rep.SetEndpoint(c, s.sink(nd.Q4))
+		nd.Q4.Attach(s.Noc2Clk)
 	}
 	for i := 0; i < cfg.L2Slices; i++ {
 		req.SetEndpoint(i, s.sink(s.l2in[i]))
@@ -446,7 +524,10 @@ func (s *System) wireNoC1() {
 			s.Noc1Rep = append(s.Noc1Rep, rep)
 			s.Noc1Clk.Register(req)
 			s.Noc1Clk.Register(rep)
+			req.AttachPorts(s.Noc1Clk)
+			rep.AttachPorts(s.Noc1Clk)
 			req.SetEndpoint(0, s.sink(s.Nodes[n].Q1))
+			s.Nodes[n].Q1.Attach(s.Noc1Clk)
 		}
 		for c := 0; c < cfg.Cores; c++ {
 			c := c
@@ -457,6 +538,7 @@ func (s *System) wireNoC1() {
 				return s.inject(req, a, src, 0, reqFlits(a, d.FlitBytes, false))
 			}))
 			s.Noc1Rep[n].SetEndpoint(src, s.sink(s.Cores[c].In))
+			s.Cores[c].In.Attach(s.Noc1Clk)
 		}
 		for n := 0; n < d.DCL1s; n++ {
 			n := n
@@ -472,16 +554,20 @@ func (s *System) wireNoC1() {
 		s.Noc1Rep = []*noc.Crossbar{rep}
 		s.Noc1Clk.Register(req)
 		s.Noc1Clk.Register(rep)
+		req.AttachPorts(s.Noc1Clk)
+		rep.AttachPorts(s.Noc1Clk)
 		for c := 0; c < cfg.Cores; c++ {
 			c := c
 			s.Noc1Clk.Register(pump(s.Cores[c].Out, pumpRate, func(a *mem.Access) bool {
 				return s.inject(req, a, c, s.Map.Home(c, a.Line), reqFlits(a, d.FlitBytes, false))
 			}))
 			rep.SetEndpoint(c, s.sink(s.Cores[c].In))
+			s.Cores[c].In.Attach(s.Noc1Clk)
 		}
 		for n := 0; n < d.DCL1s; n++ {
 			n := n
 			req.SetEndpoint(n, s.sink(s.Nodes[n].Q1))
+			s.Nodes[n].Q1.Attach(s.Noc1Clk)
 			s.Noc1Clk.Register(pump(s.Nodes[n].Q2, pumpRate, func(a *mem.Access) bool {
 				return s.inject(rep, a, n, a.Core, replyFlits(a, d.FlitBytes, true, s.trim))
 			}))
@@ -497,8 +583,11 @@ func (s *System) wireNoC1() {
 			s.Noc1Rep = append(s.Noc1Rep, rep)
 			s.Noc1Clk.Register(req)
 			s.Noc1Clk.Register(rep)
+			req.AttachPorts(s.Noc1Clk)
+			rep.AttachPorts(s.Noc1Clk)
 			for j := 0; j < m; j++ {
 				req.SetEndpoint(j, s.sink(s.Nodes[cl*m+j].Q1))
+				s.Nodes[cl*m+j].Q1.Attach(s.Noc1Clk)
 			}
 		}
 		for c := 0; c < cfg.Cores; c++ {
@@ -510,6 +599,7 @@ func (s *System) wireNoC1() {
 				return s.inject(req, a, c%coresPer, local, reqFlits(a, d.FlitBytes, false))
 			}))
 			s.Noc1Rep[cl].SetEndpoint(c%coresPer, s.sink(s.Cores[c].In))
+			s.Cores[c].In.Attach(s.Noc1Clk)
 		}
 		for n := 0; n < d.DCL1s; n++ {
 			n := n
@@ -528,21 +618,41 @@ func (s *System) wireNoC1() {
 // isolates the capacity effect of eliminating replication).
 func (s *System) wireSingleL1() {
 	nd := s.Nodes[0]
-	for c := 0; c < s.Cfg.Cores; c++ {
-		co := s.Cores[c]
-		s.CoreClk.Register(pump(co.Out, pumpRate, nd.Q1.Push))
+	// Every core's Out feeds the one node's Q1, so the fan-in must be a
+	// single composite pump: an attached port has exactly one producer.
+	outs := make([]*sim.Port[*mem.Access], s.Cfg.Cores)
+	for c, co := range s.Cores {
+		outs[c] = co.Out
 	}
+	s.CoreClk.Register(&multiPump{srcs: outs, rate: pumpRate, try: nd.Q1.Push})
+	nd.Q1.Attach(s.CoreClk)
 	// Replies demultiplex back to cores by Access.Core.
 	s.CoreClk.Register(pump(nd.Q2, 2*s.Cfg.Cores, func(a *mem.Access) bool {
 		return s.Cores[a.Core].In.Push(a)
 	}))
+	for _, co := range s.Cores {
+		co.In.Attach(s.CoreClk)
+	}
 	// Miss path: ideal full-width connection to the L2 slices.
 	s.Noc2Clk.Register(pump(nd.Q3, 2*s.Cfg.Cores, func(a *mem.Access) bool {
 		return s.l2in[s.AMap.L2Slice(a.Line)].Push(a)
 	}))
-	s.wireL2Replies(func(a *mem.Access, slice int) bool {
+	// L2 side: per-slice l2in→L2.In pumps, plus one composite pump over all
+	// L2 outputs into the node's Q4 (again a single producer), consuming
+	// orphan writeback ACKs as wireL2Replies does for the NoC designs.
+	l2outs := make([]*sim.Port[*mem.Access], len(s.L2))
+	for i := range s.L2 {
+		s.Noc2Clk.Register(pump(s.l2in[i], pumpRate, s.L2[i].In.Push))
+		l2outs[i] = s.L2[i].Out
+	}
+	s.Noc2Clk.Register(&multiPump{srcs: l2outs, rate: pumpRate, try: func(a *mem.Access) bool {
+		if a.Kind == mem.Store && a.Core == -1 {
+			s.Pool.PutAccess(a) // orphan writeback ACK: drop and retire
+			return true
+		}
 		return nd.Q4.Push(a)
-	})
+	}})
+	nd.Q4.Attach(s.Noc2Clk)
 }
 
 // wireNoC2Flat builds the single Y×L2 request / L2×Y reply crossbars used by
@@ -556,12 +666,15 @@ func (s *System) wireNoC2Flat() {
 	s.Noc2Rep = []*noc.Crossbar{rep}
 	s.Noc2Clk.Register(req)
 	s.Noc2Clk.Register(rep)
+	req.AttachPorts(s.Noc2Clk)
+	rep.AttachPorts(s.Noc2Clk)
 	for n := 0; n < y; n++ {
 		n := n
 		s.Noc2Clk.Register(pump(s.Nodes[n].Q3, pumpRate, func(a *mem.Access) bool {
 			return s.inject(req, a, n, s.AMap.L2Slice(a.Line), reqFlits(a, s.D.FlitBytes, true))
 		}))
 		rep.SetEndpoint(n, s.sink(s.Nodes[n].Q4))
+		s.Nodes[n].Q4.Attach(s.Noc2Clk)
 	}
 	for i := 0; i < cfg.L2Slices; i++ {
 		req.SetEndpoint(i, s.sink(s.l2in[i]))
@@ -588,6 +701,8 @@ func (s *System) wireNoC2Clustered() {
 		s.Noc2Rep = append(s.Noc2Rep, rep)
 		s.Noc2Clk.Register(req)
 		s.Noc2Clk.Register(rep)
+		req.AttachPorts(s.Noc2Clk)
+		rep.AttachPorts(s.Noc2Clk)
 		// Output ports: L2 slices with slice%m == j, indexed by slice/m.
 		for k := 0; k < o; k++ {
 			req.SetEndpoint(k, s.sink(s.l2in[k*m+j]))
@@ -603,6 +718,7 @@ func (s *System) wireNoC2Clustered() {
 			return s.inject(req, a, cl, slice/m, reqFlits(a, d.FlitBytes, true))
 		}))
 		s.Noc2Rep[j].SetEndpoint(cl, s.sink(s.Nodes[n].Q4))
+		s.Nodes[n].Q4.Attach(s.Noc2Clk)
 	}
 	cmap := s.Map.(dcl1.ClusteredMap)
 	s.wireL2Replies(func(a *mem.Access, slice int) bool {
@@ -624,14 +740,14 @@ func (s *System) wireCDXBarNoC() {
 	mid := d.CDXMid
 	per := cfg.Cores / g
 	o := cfg.L2Slices / mid
-	midReq := make([][]*sim.Queue[*mem.Access], g)
-	midRep := make([][]*sim.Queue[*mem.Access], g)
+	midReq := make([][]*sim.Port[*mem.Access], g)
+	midRep := make([][]*sim.Port[*mem.Access], g)
 	for i := range midReq {
-		midReq[i] = make([]*sim.Queue[*mem.Access], mid)
-		midRep[i] = make([]*sim.Queue[*mem.Access], mid)
+		midReq[i] = make([]*sim.Port[*mem.Access], mid)
+		midRep[i] = make([]*sim.Port[*mem.Access], mid)
 		for j := range midReq[i] {
-			midReq[i][j] = sim.NewQueue[*mem.Access](4)
-			midRep[i][j] = sim.NewQueue[*mem.Access](4)
+			midReq[i][j] = sim.NewPort[*mem.Access](4)
+			midRep[i][j] = sim.NewPort[*mem.Access](4)
 		}
 	}
 	// Stage 1 (per group): per×mid request, mid×per reply. Runs on Noc1Clk
@@ -644,8 +760,11 @@ func (s *System) wireCDXBarNoC() {
 		s1rep = append(s1rep, rep)
 		s.Noc1Clk.Register(req)
 		s.Noc1Clk.Register(rep)
+		req.AttachPorts(s.Noc1Clk)
+		rep.AttachPorts(s.Noc1Clk)
 		for j := 0; j < mid; j++ {
 			req.SetEndpoint(j, s.sink(midReq[gi][j]))
+			midReq[gi][j].Attach(s.Noc1Clk)
 		}
 	}
 	s.Noc1Req = s1req
@@ -659,6 +778,8 @@ func (s *System) wireCDXBarNoC() {
 		s2rep = append(s2rep, rep)
 		s.Noc2Clk.Register(req)
 		s.Noc2Clk.Register(rep)
+		req.AttachPorts(s.Noc2Clk)
+		rep.AttachPorts(s.Noc2Clk)
 		for k := 0; k < o; k++ {
 			req.SetEndpoint(k, s.sink(s.l2in[k*mid+j]))
 		}
@@ -676,6 +797,7 @@ func (s *System) wireCDXBarNoC() {
 			return s.inject(req, a, c%per, slice%mid, reqFlits(a, d.FlitBytes, true))
 		}))
 		s1rep[gi].SetEndpoint(c%per, s.sink(nd.Q4))
+		nd.Q4.Attach(s.Noc1Clk)
 	}
 	for gi := 0; gi < g; gi++ {
 		gi := gi
@@ -700,6 +822,7 @@ func (s *System) wireCDXBarNoC() {
 		j := j
 		for gi := 0; gi < g; gi++ {
 			s2rep[j].SetEndpoint(gi, s.sink(midRep[gi][j]))
+			midRep[gi][j].Attach(s.Noc2Clk)
 		}
 	}
 	s.wireL2Replies(func(a *mem.Access, slice int) bool {
@@ -734,10 +857,16 @@ func (s *System) wireL2Replies(inject func(a *mem.Access, slice int) bool) {
 // wireMemSide connects L2 miss queues to the DRAM channels and routes DRAM
 // replies back to the owning slice.
 func (s *System) wireMemSide() {
+	// Group each channel's slices so the channel's In port has one composite
+	// producer draining the mapped MissOuts in slice order.
+	missByCh := make([][]*sim.Port[*mem.Access], len(s.Drams))
 	for i := range s.L2 {
 		ch := s.AMap.Channel(i)
-		dc := s.Drams[ch]
-		s.Noc2Clk.Register(pump(s.L2[i].MissOut, pumpRate, dc.In.Push))
+		missByCh[ch] = append(missByCh[ch], s.L2[i].MissOut)
+	}
+	for ch, dc := range s.Drams {
+		s.Noc2Clk.Register(&multiPump{srcs: missByCh[ch], rate: pumpRate, try: dc.In.Push})
+		dc.In.Attach(s.Noc2Clk)
 	}
 	for _, dc := range s.Drams {
 		dc := dc

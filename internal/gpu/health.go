@@ -35,6 +35,11 @@ type HealthOptions struct {
 	// as the original engine did. Results are bit-identical either way; the
 	// knob exists for the equivalence tests and before/after benchmarking.
 	NoPool bool
+	// Shards spreads each clock edge's component ticks across this many
+	// worker shards (<= 1 means serial, the default). The two-phase port
+	// contract makes results bit-identical at every shard count; the knob
+	// trades goroutines for wall-clock speed on saturated runs.
+	Shards int
 }
 
 // NewSystemChecked is NewSystem returning validation errors instead of
@@ -235,6 +240,9 @@ func (s *System) RunChecked(opts HealthOptions) (r Results, err error) {
 	}()
 	if opts.LegacyTick {
 		s.Eng.SetFastPath(false)
+	}
+	if opts.Shards > 1 {
+		s.SetShards(opts.Shards)
 	}
 	mon := s.NewMonitor()
 	ro := sim.RunOptions{

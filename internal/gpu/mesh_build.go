@@ -41,6 +41,8 @@ func (s *System) wireMeshNoC() {
 	s.MeshReq, s.MeshRep = req, rep
 	s.Noc2Clk.Register(req)
 	s.Noc2Clk.Register(rep)
+	req.AttachPorts(s.Noc2Clk)
+	rep.AttachPorts(s.Noc2Clk)
 
 	l2Node := func(slice int) int { return cfg.Cores + slice }
 
@@ -51,6 +53,7 @@ func (s *System) wireMeshNoC() {
 			return s.inject(req, a, c, l2Node(s.AMap.L2Slice(a.Line)), reqFlits(a, s.D.FlitBytes, true))
 		}))
 		rep.SetEndpoint(c, s.sink(nd.Q4))
+		nd.Q4.Attach(s.Noc2Clk)
 	}
 	for i := 0; i < cfg.L2Slices; i++ {
 		req.SetEndpoint(l2Node(i), s.sink(s.l2in[i]))

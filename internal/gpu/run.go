@@ -52,6 +52,19 @@ func Run(cfg Config, d Design, app workload.Source) Results {
 // bit-identical either way.
 func (s *System) SetFastPath(on bool) { s.Eng.SetFastPath(on) }
 
+// SetShards sets the number of shards each clock edge's tickers are spread
+// across, and switches the recycling pool into the matching mode. n <= 1
+// selects serial execution (the default). Because every cross-component
+// hand-off goes through a two-phase port or an edge-barrier stage, results
+// are bit-identical at every shard count; see DESIGN.md §11.
+func (s *System) SetShards(n int) {
+	s.Eng.SetShards(n)
+	s.Pool.SetConcurrent(n > 1)
+}
+
+// Shards reports the configured shard count (1 = serial).
+func (s *System) Shards() int { return s.Eng.Shards() }
+
 // Run executes this system's warmup and measurement windows.
 func (s *System) Run() Results {
 	cfg := s.Cfg

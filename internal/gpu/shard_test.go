@@ -1,0 +1,151 @@
+package gpu
+
+import (
+	"reflect"
+	"testing"
+
+	"dcl1sim/internal/trace"
+	"dcl1sim/internal/workload"
+)
+
+// shardCounts is the matrix every determinism test sweeps. 1 is the serial
+// reference; the others exercise the sharded executor with fewer, equal, and
+// more shards than most clock domains have components.
+var shardCounts = []int{1, 2, 4, 8}
+
+func runWithShards(t *testing.T, cfg Config, d Design, app workload.Source, shards int) Results {
+	t.Helper()
+	s := NewSystem(cfg, d, app)
+	s.SetShards(shards)
+	return s.Run()
+}
+
+// TestShardEquivalence proves the tentpole's bit-identity claim for the
+// sharded executor: for every DesignKind on three apps spanning the paper's
+// application classes, running the same seed at 2, 4, and 8 shards produces
+// Results byte-identical to the serial engine. Components only read committed
+// port and tracker state during a tick and all cross-component effects are
+// published at the edge barrier in a fixed order, so the shard count must not
+// be observable in any measurement.
+func TestShardEquivalence(t *testing.T) {
+	apps := []string{"T-AlexNet", "C-NN", "R-BP"}
+	cfg := quiesceCfg()
+	for _, d := range quiesceDesigns() {
+		for _, name := range apps {
+			app, ok := workload.ByName(name)
+			if !ok {
+				t.Fatalf("unknown app %q", name)
+			}
+			d, app := d, app
+			t.Run(d.Name()+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				serial := runWithShards(t, cfg, d, app, 1)
+				for _, n := range shardCounts[1:] {
+					got := runWithShards(t, cfg, d, app, n)
+					if !reflect.DeepEqual(got, serial) {
+						t.Errorf("shards=%d diverged from serial:\nsharded: %+v\nserial:  %+v", n, got, serial)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardEquivalenceTraceDrain replays a finite trace with a long fully
+// quiescent drain phase, composing the sharded executor with the bulk
+// fast-forward: skipped edges tick nothing anywhere, so they need no port
+// commits, and the two optimizations must not interfere.
+func TestShardEquivalenceTraceDrain(t *testing.T) {
+	app, _ := workload.ByName("T-AlexNet")
+	cfg := quiesceCfg()
+	cfg.MeasureCycles = 20000 // far beyond the trace's natural end
+	tr := trace.Capture(app, 16, 40, workload.RoundRobin, 1)
+	for _, d := range []Design{
+		{Kind: Baseline},
+		{Kind: Shared, DCL1s: 8},
+		{Kind: Clustered, DCL1s: 8, Clusters: 2},
+	} {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			t.Parallel()
+			serial := runWithShards(t, cfg, d, tr, 1)
+			for _, n := range shardCounts[1:] {
+				got := runWithShards(t, cfg, d, tr, n)
+				if !reflect.DeepEqual(got, serial) {
+					t.Errorf("shards=%d diverged on trace drain:\nsharded: %+v\nserial:  %+v", n, got, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestShardEquivalenceLegacyTick pins the sharded executor against the
+// legacy always-tick engine: with the fast path off every component ticks on
+// every edge, which maximizes concurrent port traffic per edge.
+func TestShardEquivalenceLegacyTick(t *testing.T) {
+	app, _ := workload.ByName("C-NN")
+	cfg := quiesceCfg()
+	d := Design{Kind: Shared, DCL1s: 8}
+	ref := func() Results {
+		s := NewSystem(cfg, d, app)
+		s.SetFastPath(false)
+		return s.Run()
+	}()
+	for _, n := range shardCounts[1:] {
+		s := NewSystem(cfg, d, app)
+		s.SetFastPath(false)
+		s.SetShards(n)
+		if got := s.Run(); !reflect.DeepEqual(got, ref) {
+			t.Errorf("legacy-tick shards=%d diverged from serial:\nsharded: %+v\nserial:  %+v", n, got, ref)
+		}
+	}
+}
+
+// TestShardEquivalenceChecked runs the comparison through the checked path
+// (watchdog slicing + the Shards health option), covering the RunChecked and
+// option plumbing end to end.
+func TestShardEquivalenceChecked(t *testing.T) {
+	app, _ := workload.ByName("P-GEMM")
+	cfg := quiesceCfg()
+	d := Design{Kind: Clustered, DCL1s: 8, Clusters: 2}
+	serial, err := RunChecked(cfg, d, app, HealthOptions{})
+	if err != nil {
+		t.Fatalf("serial checked run: %v", err)
+	}
+	sharded, err := RunChecked(cfg, d, app, HealthOptions{Shards: 4})
+	if err != nil {
+		t.Fatalf("sharded checked run: %v", err)
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("checked sharded run diverged:\nsharded: %+v\nserial:  %+v", sharded, serial)
+	}
+}
+
+// TestShardedSweepCapsShards covers the workers×shards composition contract:
+// RunManyChecked caps the effective shard count at GOMAXPROCS/workers, and
+// the cap must not change any result (shard count never does).
+func TestShardedSweepCapsShards(t *testing.T) {
+	app, _ := workload.ByName("T-AlexNet")
+	cfg := quiesceCfg()
+	jobs := []Job{
+		{Cfg: cfg, D: Design{Kind: Baseline}, App: app},
+		{Cfg: cfg, D: Design{Kind: Shared, DCL1s: 8}, App: app},
+	}
+	serial, errs := RunManyChecked(jobs, 2, HealthOptions{})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("serial job %d: %v", i, err)
+		}
+	}
+	// Ask for far more shards than cores; the cap keeps goroutine demand sane
+	// and the results must still match bit for bit.
+	sharded, errs := RunManyChecked(jobs, 2, HealthOptions{Shards: 64})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sharded job %d: %v", i, err)
+		}
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Errorf("sharded sweep diverged from serial sweep:\nsharded: %+v\nserial:  %+v", sharded, serial)
+	}
+}

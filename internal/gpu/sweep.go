@@ -55,12 +55,26 @@ func RunMany(jobs []Job, workers int) []Results {
 // job degrades into its error slot instead of hanging or killing the sweep.
 // A canceled opts.Ctx aborts running jobs at their next watchdog slice and
 // fails not-yet-started jobs immediately, so sweeps wind down cleanly.
+//
+// Workers and shards compose: workers takes precedence, and opts.Shards is
+// capped at GOMAXPROCS/workers (floor 1) so the sweep's total goroutine
+// demand stays near GOMAXPROCS instead of multiplying. Shard count never
+// affects results, so the cap is purely a scheduling decision.
 func RunManyChecked(jobs []Job, workers int, opts HealthOptions) (out []Results, errs []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
+	}
+	if opts.Shards > 1 && workers > 0 {
+		per := runtime.GOMAXPROCS(0) / workers
+		if per < 1 {
+			per = 1
+		}
+		if opts.Shards > per {
+			opts.Shards = per
+		}
 	}
 	out = make([]Results, len(jobs))
 	errs = make([]error, len(jobs))

@@ -2,12 +2,23 @@
 
 package mem
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // putGuard (pooldebug builds) tracks which values currently sit on the free
 // list and panics on a double Put or on a Get returning a value the guard
 // never saw leave — both indicate an ownership bug in a retirement point.
+// The guard serializes internally so it stays sound when the pool runs in
+// concurrent mode under a sharded engine; debug builds pay the lock.
+//
+// One concurrent-mode caveat: sync.Pool may drop parked values under GC
+// pressure, so a Get can allocate fresh while the guard still remembers the
+// dropped value as "on the free list". That only widens the set of values the
+// guard accepts back — double Puts of a live value are still caught.
 type putGuard struct {
+	mu  sync.Mutex
 	acc map[*Access]bool
 	pkt map[*Packet]bool
 }
@@ -18,6 +29,8 @@ func (g *putGuard) init() {
 }
 
 func (g *putGuard) getAccess(a *Access) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if !g.acc[a] {
 		panic(fmt.Sprintf("mem.Pool: GetAccess returned %p which is not on the free list", a))
 	}
@@ -25,6 +38,8 @@ func (g *putGuard) getAccess(a *Access) {
 }
 
 func (g *putGuard) putAccess(a *Access) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.acc[a] {
 		panic(fmt.Sprintf("mem.Pool: double PutAccess of %p (id=%d line=%#x reply=%v)", a, a.ID, a.Line, a.IsReply))
 	}
@@ -32,6 +47,8 @@ func (g *putGuard) putAccess(a *Access) {
 }
 
 func (g *putGuard) getPacket(k *Packet) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if !g.pkt[k] {
 		panic(fmt.Sprintf("mem.Pool: GetPacket returned %p which is not on the free list", k))
 	}
@@ -39,6 +56,8 @@ func (g *putGuard) getPacket(k *Packet) {
 }
 
 func (g *putGuard) putPacket(k *Packet) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.pkt[k] {
 		panic(fmt.Sprintf("mem.Pool: double PutPacket of %p (src=%d dst=%d)", k, k.Src, k.Dst))
 	}

@@ -20,9 +20,20 @@ type Mesh struct {
 	P    MeshParams
 	Stat MeshStats
 
+	inj       []*sim.Port[*mem.Packet] // per-node injection port (the two-phase boundary)
 	routers   []meshRouter
 	endpoints []Endpoint
 	lastTick  sim.Cycle // most recent Tick cycle, for stuck-flit auditing
+
+	// credit[n] is the projected occupancy of router n's local input buffer:
+	// committed contents plus packets still in (or staged for) inj[n].
+	// Inject admits while credit < QueueDepth — the old direct-buffer rule.
+	// Increments belong to node n's single producer; decrements (local-input
+	// grants) are recorded in granted during Tick and applied at the edge
+	// barrier (or at the end of Tick in immediate mode).
+	credit   []int32
+	granted  []int32
+	attached bool
 
 	// pending counts packets anywhere in the mesh (input buffers or router
 	// transit) for the quiescence fast path; with zero pending, a tick only
@@ -118,10 +129,14 @@ func NewMesh(p MeshParams) *Mesh {
 	}
 	m := &Mesh{
 		P:         p,
+		inj:       make([]*sim.Port[*mem.Packet], p.W*p.H),
 		routers:   make([]meshRouter, p.W*p.H),
 		endpoints: make([]Endpoint, p.W*p.H),
+		credit:    make([]int32, p.W*p.H),
 	}
 	for i := range m.routers {
+		// Unbounded port: admission is bounded by the credit check.
+		m.inj[i] = sim.NewPort[*mem.Packet](0)
 		r := &m.routers[i]
 		for d := 0; d < numPorts; d++ {
 			r.in[d] = sim.NewQueue[*meshPacket](p.QueueDepth)
@@ -138,7 +153,11 @@ func (m *Mesh) Nodes() int { return m.P.W * m.P.H }
 func (m *Mesh) SetEndpoint(n int, e Endpoint) { m.endpoints[n] = e }
 
 // Inject offers a packet at node p.Src's local input; p.Dst is the
-// destination node. Returns false when the local input buffer is full.
+// destination node. The packet lands in the node's injection port — the
+// mesh's two-phase boundary: wrapping in a meshPacket (free-list state) and
+// the pending count happen when Tick drains the port, so concurrent
+// producers never touch shared mesh state. Returns false when the injection
+// port is full.
 func (m *Mesh) Inject(p *mem.Packet) bool {
 	if p.Src < 0 || p.Src >= m.Nodes() || p.Dst < 0 || p.Dst >= m.Nodes() {
 		panic(fmt.Sprintf("noc: mesh %s inject with bad nodes src=%d dst=%d", m.P.Name, p.Src, p.Dst))
@@ -146,13 +165,56 @@ func (m *Mesh) Inject(p *mem.Packet) bool {
 	if p.Flits <= 0 {
 		panic("noc: mesh packet with no flits")
 	}
-	mp := m.getMeshPacket(p)
-	if !m.routers[p.Src].in[dirL].Push(mp) {
-		m.putMeshPacket(mp)
+	if m.credit[p.Src] >= int32(m.P.QueueDepth) {
 		return false
 	}
-	m.pending++
+	if !m.inj[p.Src].Push(p) {
+		return false
+	}
+	m.credit[p.Src]++
 	return true
+}
+
+// AttachPorts switches the injection ports to two-phase mode on clk (the
+// clock every producer of this mesh ticks on) and moves the credit-grant
+// application to clk's edge barrier.
+func (m *Mesh) AttachPorts(clk *sim.Clock) {
+	for _, p := range m.inj {
+		p.Attach(clk)
+	}
+	m.attached = true
+	clk.OnBarrier(m.applyCredits)
+}
+
+// applyCredits returns the credits of this edge's local-input grants to the
+// producers. Runs at the edge barrier (attached) or at the end of Tick
+// (immediate mode) — never concurrently with Inject.
+func (m *Mesh) applyCredits() {
+	for _, n := range m.granted {
+		m.credit[n]--
+	}
+	m.granted = m.granted[:0]
+}
+
+// drainInject moves committed injections into the routers' local input
+// buffers. Runs at the start of Tick so an immediate-mode injection still
+// arbitrates the same cycle. The credit admission rule guarantees room: the
+// local buffer plus in-port packets per node never exceed QueueDepth.
+func (m *Mesh) drainInject() {
+	for n, port := range m.inj {
+		for {
+			p, ok := port.Peek()
+			if !ok {
+				break
+			}
+			if m.routers[n].in[dirL].Full() {
+				break
+			}
+			port.Pop()
+			m.routers[n].in[dirL].Push(m.getMeshPacket(p))
+			m.pending++
+		}
+	}
 }
 
 func (m *Mesh) getMeshPacket(p *mem.Packet) *meshPacket {
@@ -192,6 +254,11 @@ func (m *Mesh) putTransit(tr *meshTransit) {
 func (m *Mesh) NextWorkCycle(now sim.Cycle) sim.Cycle {
 	if m.pending > 0 {
 		return now
+	}
+	for _, p := range m.inj {
+		if !p.Empty() {
+			return now
+		}
 	}
 	return sim.WakeNever
 }
@@ -265,6 +332,7 @@ func opposite(d int) int {
 func (m *Mesh) Tick(now sim.Cycle) {
 	m.lastTick = now
 	m.Stat.Cycles++
+	m.drainInject()
 	// Phase 1: complete transits (hand packets to the next router's input
 	// buffer, or to the endpoint for local outputs).
 	for n := range m.routers {
@@ -328,6 +396,9 @@ func (m *Mesh) Tick(now sim.Cycle) {
 					continue
 				}
 				r.in[in].Pop()
+				if in == dirL {
+					m.granted = append(m.granted, int32(n))
+				}
 				mp.hops++
 				dur := sim.Cycle(mp.p.Flits)
 				r.outBusy[out] = now + dur
@@ -340,12 +411,16 @@ func (m *Mesh) Tick(now sim.Cycle) {
 			}
 		}
 	}
+	if !m.attached {
+		m.applyCredits()
+	}
 }
 
 // Pending returns packets buffered anywhere in the mesh (drain checks).
 func (m *Mesh) Pending() int {
 	total := 0
 	for n := range m.routers {
+		total += m.inj[n].Len()
 		r := &m.routers[n]
 		for d := 0; d < numPorts; d++ {
 			total += r.in[d].Len()

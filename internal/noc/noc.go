@@ -100,7 +100,21 @@ type Crossbar struct {
 	P    Params
 	Stat Stats
 
+	inj       []*sim.Port[*mem.Packet]    // per-input injection port (the two-phase boundary)
 	voq       [][]*sim.Queue[*mem.Packet] // [in][out]
+
+	// credit[in][out] is the projected occupancy of voq[in][out]: committed
+	// VOQ contents plus packets toward out still in (or staged for) inj[in].
+	// Inject admits a packet only while credit < VOQDepth, which reproduces
+	// the pre-port per-(in,out) acceptance exactly — a blocked output never
+	// HOL-blocks other outputs at the injection boundary. The increment side
+	// is owned by input in's single producer (Inject); the decrement side
+	// (grants popping a VOQ) is recorded in granted during Tick and applied
+	// at the edge barrier (or at the end of Tick in immediate mode), so the
+	// two sides never race under sharded execution.
+	credit   [][]int32
+	granted  []credPair
+	attached bool
 	voqBits   [][]uint64                  // [out] bitmap of inputs with waiting packets
 	inBusy    []sim.Cycle                 // input link busy until cycle
 	outBusy   []sim.Cycle                 // output link busy until cycle
@@ -136,6 +150,7 @@ func New(p Params) *Crossbar {
 	}
 	x := &Crossbar{
 		P:         p,
+		inj:       make([]*sim.Port[*mem.Packet], p.Ins),
 		voq:       make([][]*sim.Queue[*mem.Packet], p.Ins),
 		inBusy:    make([]sim.Cycle, p.Ins),
 		outBusy:   make([]sim.Cycle, p.Outs),
@@ -144,8 +159,13 @@ func New(p Params) *Crossbar {
 		staged:    make([]*sim.Queue[*mem.Packet], p.Outs),
 		endpoints: make([]Endpoint, p.Outs),
 	}
+	x.credit = make([][]int32, p.Ins)
 	for i := range x.voq {
+		// The injection port is unbounded: admission is bounded per (in,out)
+		// by the credit check, so occupancy never exceeds Outs×VOQDepth.
+		x.inj[i] = sim.NewPort[*mem.Packet](0)
 		x.voq[i] = make([]*sim.Queue[*mem.Packet], p.Outs)
+		x.credit[i] = make([]int32, p.Outs)
 		for o := range x.voq[i] {
 			x.voq[i][o] = sim.NewQueue[*mem.Packet](p.VOQDepth)
 		}
@@ -170,9 +190,16 @@ func New(p Params) *Crossbar {
 // SetEndpoint attaches the receiver for output port o.
 func (x *Crossbar) SetEndpoint(o int, e Endpoint) { x.endpoints[o] = e }
 
-// Inject offers a packet at input port p.Src destined for output p.Dst.
-// The packet's Flits field must be set (see mem.FlitCount). Returns false
-// when the VOQ is full; the sender retries later.
+type credPair struct{ in, out int32 }
+
+// Inject offers a packet at input port p.Src destined for output p.Dst by
+// pushing it onto that input's injection port — the crossbar's two-phase
+// boundary: all switch-internal bookkeeping happens when Tick drains the
+// port, so concurrent producers on other components never touch shared
+// switch state. Admission is per (in,out) via the credit array, exactly the
+// old direct-VOQ rule. The packet's Flits field must be set (see
+// mem.FlitCount). Returns false when the (in,out) VOQ is (projected) full;
+// the sender retries later.
 func (x *Crossbar) Inject(p *mem.Packet) bool {
 	if p.Src < 0 || p.Src >= x.P.Ins || p.Dst < 0 || p.Dst >= x.P.Outs {
 		panic(fmt.Sprintf("noc: %s inject with bad ports src=%d dst=%d", x.P.Name, p.Src, p.Dst))
@@ -180,28 +207,79 @@ func (x *Crossbar) Inject(p *mem.Packet) bool {
 	if p.Flits <= 0 {
 		panic("noc: packet with no flits")
 	}
-	if !x.voq[p.Src][p.Dst].Push(p) {
+	if x.credit[p.Src][p.Dst] >= int32(x.P.VOQDepth) {
 		return false
 	}
-	x.voqBits[p.Dst][p.Src/64] |= 1 << uint(p.Src%64)
-	x.outPending[p.Dst/64] |= 1 << uint(p.Dst%64)
-	x.voqPerOut[p.Dst]++
-	x.voqCount++
+	if !x.inj[p.Src].Push(p) {
+		return false
+	}
+	x.credit[p.Src][p.Dst]++
 	return true
 }
 
 // CanInject reports whether input port in has VOQ room toward output out.
 func (x *Crossbar) CanInject(in, out int) bool {
-	return !x.voq[in][out].Full()
+	return x.credit[in][out] < int32(x.P.VOQDepth)
+}
+
+// AttachPorts switches the injection ports to two-phase mode on clk (the
+// clock every producer of this crossbar ticks on — asserted by the gpu
+// wiring audit) and moves the credit-grant application to clk's edge
+// barrier, where it cannot race with producer-side credit increments.
+func (x *Crossbar) AttachPorts(clk *sim.Clock) {
+	for _, p := range x.inj {
+		p.Attach(clk)
+	}
+	x.attached = true
+	clk.OnBarrier(x.applyCredits)
+}
+
+// applyCredits returns the credits of this edge's VOQ grants to the
+// producers. Runs at the edge barrier (attached) or at the end of Tick
+// (immediate mode) — never concurrently with Inject.
+func (x *Crossbar) applyCredits() {
+	for _, g := range x.granted {
+		x.credit[g.in][g.out]--
+	}
+	x.granted = x.granted[:0]
+}
+
+// drainInject moves committed injections from the per-input ports into the
+// VOQs, performing the bookkeeping Inject used to do. Runs at the start of
+// Tick, so in immediate (unattached) mode an injection still arbitrates the
+// same cycle. The credit admission rule guarantees every committed packet
+// fits its VOQ (voq occupancy + in-port packets per pair never exceeds
+// VOQDepth), so the scan skips nothing; the RemoveAt fallback covers a full
+// VOQ defensively without head-of-line blocking the other outputs.
+func (x *Crossbar) drainInject() {
+	for in, port := range x.inj {
+		for i := 0; i < port.Len(); {
+			p := port.At(i)
+			q := x.voq[in][p.Dst]
+			if !q.Push(p) {
+				i++
+				continue
+			}
+			port.RemoveAt(i)
+			x.voqBits[p.Dst][in/64] |= 1 << uint(in%64)
+			x.outPending[p.Dst/64] |= 1 << uint(p.Dst%64)
+			x.voqPerOut[p.Dst]++
+			x.voqCount++
+		}
+	}
 }
 
 // Tick advances the switch one NoC-clock cycle.
 func (x *Crossbar) Tick(now sim.Cycle) {
 	x.lastTick = now
 	x.Stat.Cycles++
+	x.drainInject()
 	x.deliverStaged()
 	x.completeTraversals(now)
 	x.arbitrate(now)
+	if !x.attached {
+		x.applyCredits()
+	}
 }
 
 // NextWorkCycle implements sim.Sleeper. The switch has work while any packet
@@ -211,6 +289,11 @@ func (x *Crossbar) Tick(now sim.Cycle) {
 func (x *Crossbar) NextWorkCycle(now sim.Cycle) sim.Cycle {
 	if x.voqCount > 0 || x.stagedCount > 0 {
 		return now
+	}
+	for _, p := range x.inj {
+		if !p.Empty() {
+			return now
+		}
 	}
 	if t, ok := x.inFlight.NextReadyAt(); ok {
 		if t <= now {
@@ -295,6 +378,7 @@ func (x *Crossbar) arbitrate(now sim.Cycle) {
 			}
 			q := x.voq[in][o]
 			p, _ := q.Pop()
+			x.granted = append(x.granted, credPair{int32(in), int32(o)})
 			x.voqCount--
 			x.voqPerOut[o]--
 			if x.voqPerOut[o] == 0 {
@@ -360,10 +444,11 @@ func (x *Crossbar) pickInput(bm []uint64, start int, now sim.Cycle) int {
 }
 
 // Pending returns the number of packets buffered anywhere in the switch
-// (VOQs, in flight, staged). Useful for drain checks in tests.
+// (injection ports, VOQs, in flight, staged). Useful for drain checks.
 func (x *Crossbar) Pending() int {
 	n := x.inFlight.Len()
 	for i := range x.voq {
+		n += x.inj[i].Len()
 		for o := range x.voq[i] {
 			n += x.voq[i][o].Len()
 		}

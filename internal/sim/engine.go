@@ -3,10 +3,15 @@
 // (drift-free) tick scheduling, bounded FIFO queues with backpressure, fixed
 // delay pipes, and a small deterministic RNG.
 //
-// The engine is deliberately single-threaded: components are ticked in
-// registration order at each clock edge, so simulations are bit-reproducible
-// across runs and platforms. Parallelism belongs at the experiment level
-// (independent runs), not inside the simulated machine.
+// The engine is deterministic by construction rather than by serialization:
+// cross-component communication goes through two-phase Ports (staged pushes
+// become visible only at the owning clock's edge barrier), so the order
+// components tick within an edge cannot influence results. Serial execution
+// is the shards=1 degenerate case of the same code path; SetShards(n) spreads
+// each edge's ticks across a fixed worker pool with a stable component→shard
+// assignment and produces bit-identical results at any shard count (see
+// DESIGN.md §11). Experiment-level parallelism (independent runs) composes
+// with this via the sweep workers.
 package sim
 
 import (
@@ -95,6 +100,13 @@ type Clock struct {
 	// this only trades idle-detection latency (a few edges) for near-zero
 	// fast-path overhead on saturated clocks.
 	skipEval int
+
+	// Two-phase edge barrier. ports are the attached Ports whose producers
+	// tick on this clock: their staged pushes commit at the end of every
+	// processed edge. barriers run after the port commits, serially and in
+	// registration order (e.g. deferred replication-tracker updates).
+	ports    []portCommitter
+	barriers []func()
 }
 
 // busyBackoff is how many edges a fully busy clock full-ticks before
@@ -128,41 +140,87 @@ func (c *Clock) Register(t Ticker) {
 	c.idle = false
 }
 
+// OnBarrier registers f to run at the end of every edge this clock
+// processes, after the clock's ports have committed. Barrier tasks run
+// serially on the engine goroutine in registration order regardless of shard
+// count — the hook for cross-component state that cannot be partitioned
+// (e.g. the shared replication tracker applies its staged ops here).
+func (c *Clock) OnBarrier(f func()) {
+	c.barriers = append(c.barriers, f)
+}
+
+// commit runs this clock's edge barrier: publish every attached port's
+// staged pushes, then run the barrier tasks. The commit must run on every
+// processed edge — even one where no component ticked — because consumers on
+// other clocks may have drained a port since the last barrier and the
+// producer-side occupancy snapshot has to be refreshed on the same schedule
+// regardless of fast path or shard count. Edges skipped wholesale by the
+// quiescence fast-forward need no commit: nothing ticks anywhere during an
+// all-idle stretch, so no port can change.
+func (c *Clock) commit(ex *executor) {
+	if ex != nil && len(c.ports) >= 2*ex.n {
+		ex.commitPorts(c)
+	} else {
+		for _, p := range c.ports {
+			p.commitEdge()
+		}
+	}
+	for _, f := range c.barriers {
+		f()
+	}
+}
+
 // tick advances the clock one edge and returns how many components actually
 // ticked. With the fast path off — or when any registered component is not a
 // Sleeper — every component ticks, exactly as the legacy engine did.
 //
-// With the fast path on, each component's NextWorkCycle is evaluated in
-// registration order, interleaved with the ticks of the non-sleeping
-// components, so a push from an earlier component this edge wakes a later one
-// before it would be skipped — the same visibility order as legacy ticking.
-func (c *Clock) tick(fast bool) int {
+// With the fast path on, each component's NextWorkCycle gates its tick. Port
+// visibility makes the gate order-free: a push from another component this
+// edge is staged, so it cannot wake a sleeper until the next edge whether the
+// clock runs serially or sharded.
+//
+// A non-nil ex shards both phases of the edge (tick/eval, then port commit)
+// across the worker pool; small clocks stay serial, which cannot change
+// results — only the partition of identical work.
+func (c *Clock) tick(fast bool, ex *executor) int {
 	now := c.cycle
+	if ex != nil && len(c.comps) < 2*ex.n {
+		ex = nil
+	}
 	if !fast || c.numSleepers < len(c.comps) || c.skipEval > 0 {
 		if fast && c.skipEval > 0 {
 			c.skipEval--
 		}
-		for _, t := range c.comps {
-			t.Tick(now)
+		if ex != nil {
+			ex.tickAll(c, now)
+		} else {
+			for _, t := range c.comps {
+				t.Tick(now)
+			}
 		}
 		c.cycle++
 		c.idle = false
+		c.commit(ex)
 		return len(c.comps)
 	}
-	ticked := 0
+	var ticked int
 	minWake := WakeNever
-	for i, t := range c.comps {
-		w := c.sleepers[i].NextWorkCycle(now)
-		if w <= now {
-			t.Tick(now)
-			ticked++
-			continue
-		}
-		if k := c.skippers[i]; k != nil {
-			k.SkipIdle(now, 1)
-		}
-		if w < minWake {
-			minWake = w
+	if ex != nil {
+		ticked, minWake = ex.tickEval(c, now)
+	} else {
+		for i, t := range c.comps {
+			w := c.sleepers[i].NextWorkCycle(now)
+			if w <= now {
+				t.Tick(now)
+				ticked++
+				continue
+			}
+			if k := c.skippers[i]; k != nil {
+				k.SkipIdle(now, 1)
+			}
+			if w < minWake {
+				minWake = w
+			}
 		}
 	}
 	c.cycle++
@@ -171,6 +229,7 @@ func (c *Clock) tick(fast bool) int {
 	if ticked == len(c.comps) && ticked > 0 {
 		c.skipEval = busyBackoff - 1
 	}
+	c.commit(ex)
 	return ticked
 }
 
@@ -192,10 +251,28 @@ func (c *Clock) skipEdges(n Cycle) {
 type Engine struct {
 	clocks []*Clock
 	fast   bool
+	shards int
+	ex     *executor
 }
 
-// NewEngine returns an empty engine with the quiescence fast path enabled.
-func NewEngine() *Engine { return &Engine{fast: true} }
+// NewEngine returns an empty engine with the quiescence fast path enabled
+// and serial (single-shard) execution.
+func NewEngine() *Engine { return &Engine{fast: true, shards: 1} }
+
+// SetShards sets how many shards each clock edge's component ticks are
+// spread across. n <= 1 selects serial execution. Results are bit-identical
+// at every shard count: the two-phase port contract makes intra-edge tick
+// order irrelevant, sharding only changes which goroutine does the work.
+// Worker goroutines exist only while RunUntil is executing.
+func (e *Engine) SetShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.shards = n
+}
+
+// Shards returns the configured shard count.
+func (e *Engine) Shards() int { return e.shards }
 
 // SetFastPath toggles the quiescence fast path: skipping components whose
 // NextWorkCycle lies in the future and bulk fast-forwarding when every
@@ -240,6 +317,13 @@ func (e *Engine) RunUntil(ref *Clock, cycles Cycle) {
 	if len(e.clocks) == 0 {
 		panic("sim: RunUntil on engine with no clocks")
 	}
+	if e.shards > 1 && e.ex == nil && ref.cycle < cycles {
+		e.ex = newExecutor(e.shards)
+		defer func() {
+			e.ex.stop()
+			e.ex = nil
+		}()
+	}
 	for ref.cycle < cycles {
 		if e.fast && e.allIdle() && e.fastForward(ref, cycles) {
 			continue
@@ -251,7 +335,7 @@ func (e *Engine) RunUntil(ref *Clock, cycles Cycle) {
 				next, nt = c, t
 			}
 		}
-		if next.tick(e.fast) > 0 {
+		if next.tick(e.fast, e.ex) > 0 {
 			// A productive tick may have pushed work into any component on
 			// any clock: every cached idle verdict is stale.
 			for _, c := range e.clocks {

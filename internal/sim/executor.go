@@ -1,0 +1,187 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// executor is the fixed worker pool behind sharded tick execution. Shard
+// assignment is static — component i of a clock belongs to shard i mod n —
+// so the partition of work never depends on scheduling. Workers are spawned
+// for the duration of one Engine.RunUntil and stopped on return, so an idle
+// engine holds no goroutines.
+//
+// Dispatch protocol: the main goroutine publishes the job parameters, bumps
+// the epoch and broadcasts under the mutex (workers park on the cond when a
+// brief spin sees no new epoch — the epoch re-check under the lock closes the
+// missed-wakeup window). Main always runs shard 0 itself, then joins on an
+// atomic completion counter. Two dispatches happen per sharded edge: the
+// tick/eval phase and the port-commit phase; barrier tasks stay serial on
+// main between edges.
+type executor struct {
+	n int // shard count (worker goroutines = n-1, main runs shard 0)
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	epoch atomic.Int64
+	done  atomic.Int64
+	stopf atomic.Bool
+
+	// Job parameters, written by main before the epoch bump (the seq-cst
+	// epoch store orders them ahead of any worker's epoch load).
+	mode int
+	clk  *Clock
+	now  Cycle
+
+	// Per-shard eval results, index = shard. Joined by main after done
+	// reaches n-1; both aggregates are commutative (sum, min).
+	ticked  []int
+	minWake []Cycle
+}
+
+const (
+	jobTick   = iota // full path: tick every component of the shard
+	jobEval          // fast path: NextWorkCycle gate, Tick or SkipIdle
+	jobCommit        // commit the shard's slice of the clock's ports
+)
+
+// executorSpin is how many epoch polls a worker burns before parking on the
+// cond var. Edges arrive back to back while a clock is busy, so a short spin
+// usually catches the next dispatch without a futex round trip.
+const executorSpin = 256
+
+func newExecutor(n int) *executor {
+	ex := &executor{n: n, ticked: make([]int, n), minWake: make([]Cycle, n)}
+	ex.cond = sync.NewCond(&ex.mu)
+	for k := 1; k < n; k++ {
+		go ex.worker(k)
+	}
+	return ex
+}
+
+func (ex *executor) worker(shard int) {
+	var last int64
+	for {
+		e := ex.await(last)
+		if e < 0 {
+			return
+		}
+		last = e
+		ex.exec(shard)
+		ex.done.Add(1)
+	}
+}
+
+// await blocks until the dispatch epoch moves past last; returns the new
+// epoch, or -1 when the executor has been stopped.
+func (ex *executor) await(last int64) int64 {
+	for i := 0; i < executorSpin; i++ {
+		if e := ex.epoch.Load(); e != last {
+			if ex.stopf.Load() {
+				return -1
+			}
+			return e
+		}
+		runtime.Gosched()
+	}
+	ex.mu.Lock()
+	for ex.epoch.Load() == last {
+		ex.cond.Wait()
+	}
+	e := ex.epoch.Load()
+	ex.mu.Unlock()
+	if ex.stopf.Load() {
+		return -1
+	}
+	return e
+}
+
+// dispatch runs one job across all shards and returns after every shard has
+// finished. Main executes shard 0 in place.
+func (ex *executor) dispatch(mode int, c *Clock, now Cycle) {
+	ex.mode, ex.clk, ex.now = mode, c, now
+	ex.done.Store(0)
+	ex.mu.Lock()
+	ex.epoch.Add(1)
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+	ex.exec(0)
+	for ex.done.Load() < int64(ex.n-1) {
+		runtime.Gosched()
+	}
+}
+
+// exec runs the current job for one shard. During jobTick/jobEval a shard
+// only reads committed port state and writes component-private state plus
+// its own ports' staged slices; during jobCommit each port belongs to
+// exactly one shard. No two shards ever touch the same memory in a phase.
+func (ex *executor) exec(shard int) {
+	c, now, n := ex.clk, ex.now, ex.n
+	switch ex.mode {
+	case jobTick:
+		for i := shard; i < len(c.comps); i += n {
+			c.comps[i].Tick(now)
+		}
+	case jobEval:
+		ticked := 0
+		minWake := WakeNever
+		for i := shard; i < len(c.comps); i += n {
+			w := c.sleepers[i].NextWorkCycle(now)
+			if w <= now {
+				c.comps[i].Tick(now)
+				ticked++
+				continue
+			}
+			if k := c.skippers[i]; k != nil {
+				k.SkipIdle(now, 1)
+			}
+			if w < minWake {
+				minWake = w
+			}
+		}
+		ex.ticked[shard], ex.minWake[shard] = ticked, minWake
+	case jobCommit:
+		for i := shard; i < len(c.ports); i += n {
+			c.ports[i].commitEdge()
+		}
+	}
+}
+
+// tickAll runs the full-tick path sharded.
+func (ex *executor) tickAll(c *Clock, now Cycle) {
+	ex.dispatch(jobTick, c, now)
+}
+
+// tickEval runs the sleeper-gated path sharded and folds the per-shard
+// results: total ticked is a sum and the earliest wake a min, so the fold is
+// independent of shard count and completion order.
+func (ex *executor) tickEval(c *Clock, now Cycle) (int, Cycle) {
+	ex.dispatch(jobEval, c, now)
+	ticked := 0
+	minWake := WakeNever
+	for k := 0; k < ex.n; k++ {
+		ticked += ex.ticked[k]
+		if ex.minWake[k] < minWake {
+			minWake = ex.minWake[k]
+		}
+	}
+	return ticked, minWake
+}
+
+// commitPorts commits the clock's ports sharded (port i handled by shard
+// i mod n; commits on distinct ports are independent).
+func (ex *executor) commitPorts(c *Clock) {
+	ex.dispatch(jobCommit, c, 0)
+}
+
+// stop terminates the worker goroutines. Must not be called concurrently
+// with dispatch.
+func (ex *executor) stop() {
+	ex.stopf.Store(true)
+	ex.mu.Lock()
+	ex.epoch.Add(1)
+	ex.cond.Broadcast()
+	ex.mu.Unlock()
+}

@@ -1,0 +1,125 @@
+package sim
+
+// Port is the communication endpoint between components: a bounded FIFO with
+// the same API as Queue plus an optional two-phase ("staged commit") mode
+// used by the engine's deterministic sharded execution.
+//
+// An unattached Port behaves exactly like the Queue it embeds — pushes are
+// immediately visible — which keeps standalone component unit tests simple.
+// Attach(clock) switches the port to two-phase mode: Push stages values
+// privately in the producer, and the staged values become visible to the
+// consumer only when the producer clock's edge barrier commits them. Within
+// an edge, capacity checks (Full/Space) run against a snapshot of the
+// committed occupancy taken at the previous barrier, so neither the values a
+// producer can push nor the values a consumer can pop depend on the order
+// components tick within the edge. That order-independence is what makes
+// sharded execution bit-identical to serial execution (see DESIGN.md §11).
+//
+// Ownership contract (audited in internal/gpu wiring):
+//
+//   - exactly one component is the producer: it alone calls Push/Full/Space;
+//   - exactly one component is the consumer: it alone calls
+//     Pop/Peek/At/RemoveAt and reads Len/Empty during ticks;
+//   - the port is attached to the producer's clock, so staged pushes commit
+//     when that clock's edge ends;
+//   - everyone else (health probes, stats collection) reads only between
+//     engine runs or at watchdog sampling points.
+type Port[T any] struct {
+	Queue[T]
+
+	staged   []T
+	snap     int // committed occupancy snapshot from the last barrier
+	twoPhase bool
+}
+
+// NewPort returns a port holding at most capacity items (0 = unbounded), in
+// immediate mode until Attach is called.
+func NewPort[T any](capacity int) *Port[T] {
+	p := &Port[T]{}
+	p.Queue = *NewQueue[T](capacity)
+	return p
+}
+
+// portCommitter is the clock-facing face of a Port (commit at edge barrier).
+type portCommitter interface {
+	commitEdge()
+}
+
+// Attach switches the port to two-phase mode and registers its commit at c's
+// edge barrier. c must be the clock of the port's producer: staged values
+// become visible to the consumer after the producer's edge completes.
+// Attaching twice is a wiring bug.
+func (p *Port[T]) Attach(c *Clock) {
+	if p.twoPhase {
+		panic("sim: Port attached twice")
+	}
+	p.twoPhase = true
+	p.snap = p.size
+	c.ports = append(c.ports, p)
+}
+
+// Attached reports whether the port is in two-phase mode.
+func (p *Port[T]) Attached() bool { return p.twoPhase }
+
+// StagedLen returns the number of values staged but not yet committed
+// (always 0 outside a two-phase edge; for tests and diagnostics).
+func (p *Port[T]) StagedLen() int { return len(p.staged) }
+
+// Push appends v and reports whether it was accepted. In immediate mode this
+// is Queue.Push. In two-phase mode the value is staged against the committed
+// occupancy snapshot: the consumer sees it only after the next barrier, and a
+// push accepted here can never be rejected at commit (the committed queue can
+// only drain between barriers).
+func (p *Port[T]) Push(v T) bool {
+	if !p.twoPhase {
+		return p.Queue.Push(v)
+	}
+	if p.cap > 0 && p.snap+len(p.staged) >= p.cap {
+		return false
+	}
+	p.staged = append(p.staged, v)
+	return true
+}
+
+// Full reports whether a Push would be rejected (two-phase: against the
+// snapshot plus already-staged values).
+func (p *Port[T]) Full() bool {
+	if !p.twoPhase {
+		return p.Queue.Full()
+	}
+	return p.cap > 0 && p.snap+len(p.staged) >= p.cap
+}
+
+// Space returns how many more items the producer can push this edge.
+func (p *Port[T]) Space() int {
+	if !p.twoPhase {
+		return p.Queue.Space()
+	}
+	if p.cap <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	s := p.cap - p.snap - len(p.staged)
+	if s < 0 {
+		s = 0
+	}
+	return s
+}
+
+// commitEdge publishes staged values into the committed queue and refreshes
+// the occupancy snapshot. Runs at the owning clock's edge barrier, never
+// concurrently with any producer or consumer access to this port.
+func (p *Port[T]) commitEdge() {
+	if len(p.staged) > 0 {
+		var zero T
+		for i, v := range p.staged {
+			if !p.Queue.Push(v) {
+				// Push checked snap+staged against cap and the committed queue
+				// only drains between barriers, so this cannot happen.
+				panic("sim: port commit overflow")
+			}
+			p.staged[i] = zero
+		}
+		p.staged = p.staged[:0]
+	}
+	p.snap = p.size
+}

@@ -19,6 +19,7 @@ type runConfig struct {
 	legacy  bool
 	noPool  bool
 	workers int
+	shards  int
 }
 
 // WithHealth sets the health layer's knobs: stall window, check period, and
@@ -35,6 +36,17 @@ func WithHealth(h HealthOptions) RunOption {
 // ignores this option.
 func WithWorkers(n int) RunOption {
 	return func(rc *runConfig) { rc.workers = n }
+}
+
+// WithShards spreads each clock edge's component ticks across n worker
+// shards inside one simulation. n <= 1 (the default) runs serially. Results
+// are bit-identical at every shard count — sharding is a wall-clock
+// optimization for saturated runs, never a modeling change (DESIGN.md §11).
+// Under RunMany, workers takes precedence: the effective shard count is
+// capped at GOMAXPROCS/workers so total goroutine demand stays near
+// GOMAXPROCS.
+func WithShards(n int) RunOption {
+	return func(rc *runConfig) { rc.shards = n }
 }
 
 // WithContext cancels the run (or every job of a batch) when ctx is done.
@@ -71,6 +83,9 @@ func (rc *runConfig) healthOptions() HealthOptions {
 	}
 	if rc.noPool {
 		h.NoPool = true
+	}
+	if rc.shards > 0 {
+		h.Shards = rc.shards
 	}
 	return h
 }
