@@ -7,6 +7,8 @@
 //	dcl1bench -run fig14,fig16      # several
 //	dcl1bench -run all              # the full evaluation (minutes)
 //	dcl1bench -quick -run fig14     # small machine, smoke-test fidelity
+//	dcl1bench -run all -resume sweep.jsonl   # journal points; re-run resumes
+//	dcl1bench -run fig14 -chaos light -chaos-seed 7   # under fault injection
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"dcl1sim"
 	"dcl1sim/internal/experiments"
 )
 
@@ -34,6 +37,12 @@ func main() {
 		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
 		workers     = flag.Int("workers", 1, "run each experiment's fresh simulations across this many goroutines (results are identical for any value)")
 		shards      = flag.Int("shards", 1, "tick-execution shards inside each simulation; capped at GOMAXPROCS/workers in batches (results are identical for any value)")
+
+		resume        = flag.String("resume", "", "journal completed simulations to this JSONL file and skip points already journaled there")
+		retries       = flag.Int("retries", 0, "retry a simulation that overran its deadline up to this many times (capped exponential backoff)")
+		pointDeadline = flag.Duration("point-deadline", 0, "wall-clock bound per sweep point, folded into -deadline (tighter wins; 0 = none)")
+		chaosPreset   = flag.String("chaos", "", "fault-injection preset: off, light, or heavy")
+		chaosSeed     = flag.Uint64("chaos-seed", 1, "fault-injection seed (with -chaos)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (inspect with 'go tool pprof')")
@@ -67,6 +76,26 @@ func main() {
 	ctx.Health.StallWindow = *stallWindow
 	ctx.Workers = *workers
 	ctx.Health.Shards = *shards
+	ctx.Retry = experiments.RetryPolicy{Retries: *retries}
+	ctx.PointDeadline = *pointDeadline
+	if spec, err := dcl1.ChaosPreset(*chaosPreset, *chaosSeed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	} else if spec != nil {
+		ctx.Health.Chaos = spec
+	}
+	if *resume != "" {
+		j, err := experiments.OpenJournal(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		defer j.Close()
+		ctx.Journal = j
+		if n := j.Completed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resume: %d completed point(s) in %s will be skipped\n", n, *resume)
+		}
+	}
 
 	var ids []string
 	if *run == "all" {
@@ -97,11 +126,10 @@ func main() {
 			}
 		}
 	}
+	// Tables already rendered above carry zero cells for any failed point:
+	// the sweep degrades into partial results plus this failure table.
 	if fails := ctx.Failures(); len(fails) > 0 {
-		fmt.Fprintf(os.Stderr, "%d simulation(s) failed health checks:\n", len(fails))
-		for _, f := range fails {
-			fmt.Fprintf(os.Stderr, "  %s on %s: %v\n", f.App, f.Design, f.Err)
-		}
+		experiments.WriteFailureTable(os.Stderr, fails)
 		exit(1)
 	}
 }

@@ -7,6 +7,12 @@
 // Usage:
 //
 //	dcl1explore -app T-AlexNet [-boost] [-cycles 20000]
+//	dcl1explore -app T-AlexNet -resume explore.jsonl   # journal; re-run resumes
+//	dcl1explore -app T-AlexNet -chaos heavy -retries 2 -point-deadline 30s
+//
+// The sweep degrades gracefully: a failed point prints FAILED in its table row
+// and the run exits non-zero with a failure table, instead of aborting on the
+// first error.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"os"
 
 	"dcl1sim"
+	"dcl1sim/internal/experiments"
 	"dcl1sim/internal/sim"
 )
 
@@ -29,6 +36,13 @@ func main() {
 		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
 		workers     = flag.Int("workers", 1, "simulate sweep points across this many goroutines (results are identical for any value)")
 		shards      = flag.Int("shards", 1, "tick-execution shards inside each simulation; capped at GOMAXPROCS/workers (results are identical for any value)")
+
+		resume        = flag.String("resume", "", "journal completed simulations to this JSONL file and skip points already journaled there")
+		retries       = flag.Int("retries", 0, "retry a simulation that overran its deadline up to this many times (capped exponential backoff)")
+		pointDeadline = flag.Duration("point-deadline", 0, "wall-clock bound per sweep point, folded into -deadline (tighter wins; 0 = none)")
+		chaosPreset   = flag.String("chaos", "", "fault-injection preset: off, light, or heavy")
+		chaosSeed     = flag.Uint64("chaos-seed", 1, "fault-injection seed (with -chaos)")
+		verbose       = flag.Bool("v", false, "print each simulation as it runs")
 	)
 	flag.Parse()
 
@@ -38,7 +52,39 @@ func main() {
 		os.Exit(1)
 	}
 	cfg := dcl1.Config{MeasureCycles: sim.Cycle(*cycles), WarmupCycles: sim.Cycle(*warmup)}
-	opts := dcl1.HealthOptions{StallWindow: sim.Cycle(*stallWindow), Deadline: *deadline}
+	opts := dcl1.HealthOptions{StallWindow: sim.Cycle(*stallWindow), Deadline: *deadline, Shards: *shards}
+	if spec, err := dcl1.ChaosPreset(*chaosPreset, *chaosSeed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	} else if spec != nil {
+		opts.Chaos = spec
+	}
+
+	// The sweep runs under the experiments supervisor: panics become typed
+	// errors, deadline overruns retry, completed points journal to -resume,
+	// and failed points degrade into table holes plus a failure table instead
+	// of aborting the whole exploration.
+	sup := &experiments.Supervisor{
+		Health:        opts,
+		Workers:       *workers,
+		Retry:         experiments.RetryPolicy{Retries: *retries},
+		PointDeadline: *pointDeadline,
+	}
+	if *verbose {
+		sup.Progress = os.Stderr
+	}
+	if *resume != "" {
+		j, err := experiments.OpenJournal(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		sup.Journal = j
+		if n := j.Completed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "resume: %d completed point(s) in %s will be skipped\n", n, *resume)
+		}
+	}
 
 	type point struct {
 		d       dcl1.Design
@@ -94,13 +140,20 @@ func main() {
 			jobs = append(jobs, dcl1.Job{Cfg: cfg, D: pts[i].d, App: app})
 		}
 	}
-	results, errs := dcl1.RunMany(jobs, dcl1.WithWorkers(*workers), dcl1.WithShards(*shards), dcl1.WithHealth(opts))
+	results, errs := sup.RunAll(jobs)
+	var fails []experiments.Failure
 	for i, err := range errs {
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", jobs[i].D.Name(), err)
-			dcl1.WriteHealthDump(os.Stderr, err)
-			os.Exit(1)
+			fails = append(fails, experiments.Failure{Design: jobs[i].D.Name(), App: app.Name, Err: err})
 		}
+	}
+	// Without the baseline there is nothing to normalize against; everything
+	// else degrades into per-point holes below.
+	if errs[0] != nil {
+		fmt.Fprintf(os.Stderr, "baseline failed: %v\n", errs[0])
+		dcl1.WriteHealthDump(os.Stderr, errs[0])
+		experiments.WriteFailureTable(os.Stderr, fails)
+		os.Exit(1)
 	}
 
 	base := results[0]
@@ -115,6 +168,10 @@ func main() {
 		p := &pts[i]
 		if !p.canRun {
 			fmt.Printf("%-18s %8s\n", p.d.Name(), "infeasible (fmax)")
+			continue
+		}
+		if errs[jobOf[i]] != nil {
+			fmt.Printf("%-18s %8s\n", p.d.Name(), "FAILED")
 			continue
 		}
 		r := results[jobOf[i]]
@@ -134,5 +191,8 @@ func main() {
 	if best >= 0 {
 		fmt.Printf("\nbest performance-per-NoC-area: %s (%.2fx speedup at %.2fx area)\n",
 			pts[best].d.Name(), pts[best].speed, pts[best].area)
+	}
+	if experiments.WriteFailureTable(os.Stderr, fails) > 0 {
+		os.Exit(1)
 	}
 }

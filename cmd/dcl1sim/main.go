@@ -39,6 +39,8 @@ func main() {
 		deadline    = flag.Duration("deadline", 0, "wall-clock bound for the run (0 = none)")
 		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
 		dumpPath    = flag.String("health-dump", "", "write the diagnostic dump of a failed run to this file (default stderr)")
+		chaosName   = flag.String("chaos", "", "fault-injection preset: off, light, or heavy (deterministic per -chaos-seed)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "fault-injection seed (with -chaos)")
 	)
 	flag.Parse()
 
@@ -85,10 +87,17 @@ func main() {
 		cfg.Sched = dcl1.Distributed
 	}
 
-	r, err := dcl1.Run(cfg, d, app, dcl1.WithHealth(dcl1.HealthOptions{
+	opts := []dcl1.RunOption{dcl1.WithHealth(dcl1.HealthOptions{
 		StallWindow: sim.Cycle(*stallWindow),
 		Deadline:    *deadline,
-	}))
+	})}
+	if spec, err := dcl1.ChaosPreset(*chaosName, *chaosSeed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	} else if spec != nil {
+		opts = append(opts, dcl1.WithChaos(spec))
+	}
+	r, err := dcl1.Run(cfg, d, app, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		writeDump(err, *dumpPath)

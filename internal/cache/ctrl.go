@@ -3,6 +3,7 @@ package cache
 import (
 	"fmt"
 
+	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/mem"
 	"dcl1sim/internal/sim"
 )
@@ -118,6 +119,13 @@ type Ctrl struct {
 	FillIn  *sim.Port[*mem.Access]
 	Stat    Stats
 
+	// Chaos, when set, injects fill-path stalls, forced MSHR-exhaustion
+	// windows, and the queue-accounting corruption drill. Timing faults are
+	// queried only with affected work present, so the fault schedule is
+	// shard- and fast-path-invariant; the corruption drill fires at a fixed
+	// cycle and publishes it through NextWorkCycle. Nil injects nothing.
+	Chaos *chaos.Injector
+
 	tracker Tracker
 	pipe    *sim.DelayQueue[*mem.Access] // hit replies / acks in flight
 	mshr    *mshrTable
@@ -158,8 +166,16 @@ func (c *Ctrl) MSHRInUse() int { return c.mshr.len() }
 func (c *Ctrl) Tick(now sim.Cycle) {
 	c.lastTick = now
 	c.drainPipe(now)
-	c.processFills(now)
+	if c.FillIn.Empty() || !c.Chaos.FillsBlocked(now) {
+		c.processFills(now)
+	}
 	c.processRequests(now)
+	if c.Chaos.CorruptNow(now) {
+		// Corruption drill: a push count with no matching push breaks the
+		// queue-conservation invariant without perturbing any functional
+		// state; the health audit must catch it.
+		c.In.PushCount++
+	}
 }
 
 // NextWorkCycle implements sim.Sleeper. The controller has work when a
@@ -168,16 +184,19 @@ func (c *Ctrl) Tick(now sim.Cycle) {
 // (an MSHR miss outstanding below resolves via a FillIn push). A tick without
 // any of these updates only lastTick, which SkipIdle compensates.
 func (c *Ctrl) NextWorkCycle(now sim.Cycle) sim.Cycle {
+	wake := sim.WakeNever
 	if !c.In.Empty() || !c.FillIn.Empty() {
+		wake = now
+	} else if t, ok := c.pipe.NextReadyAt(); ok {
+		wake = t
+	}
+	if w, ok := c.Chaos.CorruptWake(now); ok && w < wake {
+		wake = w // never sleep past the corruption drill's cycle
+	}
+	if wake <= now {
 		return now
 	}
-	if t, ok := c.pipe.NextReadyAt(); ok {
-		if t <= now {
-			return now
-		}
-		return t
-	}
-	return sim.WakeNever
+	return wake
 }
 
 // SkipIdle implements sim.IdleSkipper, keeping the lastTick watermark (used
@@ -335,7 +354,7 @@ func (c *Ctrl) serveLoad(a *mem.Access, now sim.Cycle) bool {
 		c.noteReplication(a)
 		return true
 	}
-	if c.mshr.len() >= c.P.MSHRs || c.MissOut.Full() {
+	if c.mshr.len() >= c.P.MSHRs || c.MissOut.Full() || c.Chaos.MSHRPinched(now) {
 		c.Stat.MSHRStalls++
 		return false
 	}
@@ -372,7 +391,7 @@ func (c *Ctrl) prefetchAfter(a *mem.Access, now sim.Cycle) {
 		if c.mshr.get(line) != nil {
 			continue
 		}
-		if c.mshr.len() >= c.P.MSHRs || c.MissOut.Full() {
+		if c.mshr.len() >= c.P.MSHRs || c.MissOut.Full() || c.Chaos.MSHRPinched(now) {
 			return
 		}
 		pf := c.P.Pool.GetAccess()
@@ -430,7 +449,7 @@ func (c *Ctrl) serveStore(a *mem.Access, now sim.Cycle) bool {
 			c.Stat.MSHRMerges++
 			return true
 		}
-		if c.mshr.len() >= c.P.MSHRs || c.MissOut.Full() {
+		if c.mshr.len() >= c.P.MSHRs || c.MissOut.Full() || c.Chaos.MSHRPinched(now) {
 			c.Stat.MSHRStalls++
 			return false
 		}

@@ -1,0 +1,260 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"dcl1sim/internal/sim"
+)
+
+func mustNorm(t *testing.T, s *Spec) *Spec {
+	t.Helper()
+	n, err := s.Normalized()
+	if err != nil {
+		t.Fatalf("Normalized: %v", err)
+	}
+	return n
+}
+
+// TestStreamDeterminism proves the core replay property: two injectors built
+// from equal (spec, kind, id) make identical decisions at every queried cycle,
+// while changing any coordinate of the stream identity reshuffles them.
+func TestStreamDeterminism(t *testing.T) {
+	spec := mustNorm(t, Heavy(42))
+	a := New(spec, KindNoC, 3, "x")
+	b := New(spec, KindNoC, 3, "x")
+	for now := sim.Cycle(0); now < 4096; now++ {
+		for out := 0; out < 4; out++ {
+			if ga, gb := a.GrantPerturb(now, out, 2), b.GrantPerturb(now, out, 2); ga != gb {
+				t.Fatalf("GrantPerturb diverged at cycle %d out %d: %d vs %d", now, out, ga, gb)
+			}
+			if ja, jb := a.OutputJammed(now, out), b.OutputJammed(now, out); ja != jb {
+				t.Fatalf("OutputJammed diverged at cycle %d out %d", now, out)
+			}
+		}
+		if da, db := a.DramJitter(now), b.DramJitter(now); da != db {
+			t.Fatalf("DramJitter diverged at cycle %d: %d vs %d", now, da, db)
+		}
+	}
+	if a.Fired() != b.Fired() {
+		t.Fatalf("fired counts diverged: %d vs %d", a.Fired(), b.Fired())
+	}
+	if a.Fired() == 0 {
+		t.Fatal("heavy preset fired nothing over 4096 cycles")
+	}
+
+	// A different component id, kind, or seed must not replay the same stream.
+	diverges := func(name string, other *Injector) {
+		t.Helper()
+		for now := sim.Cycle(0); now < 4096; now++ {
+			if a2 := New(spec, KindNoC, 3, "x"); a2.DramJitter(now) != other.DramJitter(now) {
+				return
+			}
+		}
+		t.Fatalf("%s: stream identical over 4096 cycles", name)
+	}
+	diverges("id", New(spec, KindNoC, 4, "y"))
+	diverges("kind", New(spec, KindDram, 3, "y"))
+	diverges("seed", New(mustNorm(t, Heavy(43)), KindNoC, 3, "y"))
+}
+
+// TestWindowedFaultShape checks that a windowed fault occupies exactly the
+// leading cycles of an activated window and counts once per activation.
+func TestWindowedFaultShape(t *testing.T) {
+	spec := mustNorm(t, &Spec{Seed: 7, WindowLen: 32, IssueStallProb: 0.5, IssueStallLen: 5})
+	in := New(spec, KindCore, 0, "core-0")
+	activated := 0
+	for start := sim.Cycle(0); start < 32*200; start += 32 {
+		first := in.IssueStalled(start)
+		if first {
+			activated++
+		}
+		for off := sim.Cycle(1); off < 32; off++ {
+			got := in.IssueStalled(start + off)
+			want := first && off < 5
+			if got != want {
+				t.Fatalf("window %d offset %d: stalled=%v want %v", start, off, got, want)
+			}
+		}
+	}
+	if activated == 0 {
+		t.Fatal("no windows activated at p=0.5 over 200 windows")
+	}
+	if in.Fired() != int64(activated) {
+		t.Fatalf("Fired()=%d, want one per activated window (%d)", in.Fired(), activated)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Spec{
+		{FlitDelayProb: 1.5},
+		{OutJamProb: -0.1},
+		{WindowLen: -1},
+		{CorruptAt: -5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated: %+v", i, *s)
+		}
+	}
+	if err := Light(1).Validate(); err != nil {
+		t.Errorf("light preset invalid: %v", err)
+	}
+	if err := Heavy(1).Validate(); err != nil {
+		t.Errorf("heavy preset invalid: %v", err)
+	}
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err != nil {
+		t.Errorf("nil spec invalid: %v", err)
+	}
+}
+
+func TestNormalizedClamps(t *testing.T) {
+	n := mustNorm(t, &Spec{Seed: 1, OutJamProb: 0.1, OutJamLen: 500, StormProb: 0.1, StormLen: 70})
+	if n.WindowLen != DefaultWindowLen {
+		t.Errorf("WindowLen = %d, want default %d", n.WindowLen, DefaultWindowLen)
+	}
+	if n.OutJamLen != DefaultWindowLen || n.StormLen != DefaultWindowLen {
+		t.Errorf("durations not clamped to window: jam=%d storm=%d", n.OutJamLen, n.StormLen)
+	}
+	if _, err := (&Spec{FlitDelayProb: 2}).Normalized(); err == nil {
+		t.Error("Normalized accepted invalid spec")
+	}
+}
+
+func TestPreset(t *testing.T) {
+	for _, name := range []string{"", "off", "none", "OFF", " Off "} {
+		s, err := Preset(name, 1)
+		if err != nil || s != nil {
+			t.Errorf("Preset(%q) = %v, %v; want nil, nil", name, s, err)
+		}
+	}
+	if s, err := Preset("light", 9); err != nil || s == nil || s.Seed != 9 {
+		t.Errorf("Preset(light, 9) = %+v, %v", s, err)
+	}
+	if s, err := Preset("Heavy", 9); err != nil || s == nil {
+		t.Errorf("Preset(Heavy) = %+v, %v", s, err)
+	}
+	if _, err := Preset("medium", 1); err == nil {
+		t.Error("Preset(medium) did not error")
+	}
+	if (&Spec{}).Enabled() {
+		t.Error("zero spec reports Enabled")
+	}
+	if !Light(1).Enabled() || !Heavy(1).Enabled() {
+		t.Error("preset reports disabled")
+	}
+}
+
+// TestNilInjector: every method must be a no-op on a nil receiver, so
+// components can call their optional injector unconditionally.
+func TestNilInjector(t *testing.T) {
+	var in *Injector
+	if in != New(nil, KindCore, 0, "c") {
+		t.Error("New(nil spec) != nil")
+	}
+	if in.GrantPerturb(5, 0, 1) != 0 || in.DramJitter(5) != 0 {
+		t.Error("nil injector perturbed timing")
+	}
+	if in.OutputJammed(5, 0) || in.RefreshStorm(5) || in.FillsBlocked(5) ||
+		in.MSHRPinched(5) || in.IssueStalled(5) || in.CorruptNow(5) {
+		t.Error("nil injector injected a fault")
+	}
+	if _, ok := in.CorruptWake(5); ok {
+		t.Error("nil injector has a corrupt wake")
+	}
+	if in.Fired() != 0 || in.Events() != nil {
+		t.Error("nil injector has state")
+	}
+}
+
+func TestJamAllAfter(t *testing.T) {
+	spec := mustNorm(t, &Spec{Seed: 1, JamAllAfter: 100})
+	in := New(spec, KindNoC, 0, "xbar")
+	for out := 0; out < 3; out++ {
+		if in.OutputJammed(99, out) {
+			t.Fatalf("output %d jammed before JamAllAfter", out)
+		}
+		for _, now := range []sim.Cycle{100, 101, 100000} {
+			if !in.OutputJammed(now, out) {
+				t.Fatalf("output %d not jammed at %d", out, now)
+			}
+		}
+	}
+	// Permanent jam counts once per output, not once per query.
+	if in.Fired() != 3 {
+		t.Errorf("Fired() = %d, want 3 (once per output)", in.Fired())
+	}
+}
+
+func TestCorruptDrill(t *testing.T) {
+	spec := mustNorm(t, &Spec{Seed: 1, CorruptAt: 250})
+	in := New(spec, KindL1, 0, "l1")
+	for _, now := range []sim.Cycle{0, 249, 251, 1000} {
+		if in.CorruptNow(now) {
+			t.Fatalf("CorruptNow fired at %d", now)
+		}
+	}
+	if !in.CorruptNow(250) {
+		t.Fatal("CorruptNow did not fire at CorruptAt")
+	}
+	if w, ok := in.CorruptWake(10); !ok || w != 250 {
+		t.Errorf("CorruptWake(10) = %d, %v; want 250, true", w, ok)
+	}
+	if w, ok := in.CorruptWake(250); !ok || w != 250 {
+		t.Errorf("CorruptWake(250) = %d, %v; want 250, true", w, ok)
+	}
+	if _, ok := in.CorruptWake(251); ok {
+		t.Error("CorruptWake past the drill still pending")
+	}
+}
+
+func TestFormatEventsCanonical(t *testing.T) {
+	evs := []Event{
+		{Comp: "b", Fault: "out-jam", Cycle: 64, Arg: 1},
+		{Comp: "a", Fault: "out-jam", Cycle: 64, Arg: 2},
+		{Comp: "c", Fault: "flit-delay", Cycle: 3, Arg: 1},
+		{Comp: "a", Fault: "out-jam", Cycle: 64, Arg: 0},
+	}
+	want := "3 c flit-delay 1\n64 a out-jam 0\n64 a out-jam 2\n64 b out-jam 1\n"
+	if got := FormatEvents(evs); got != want {
+		t.Errorf("FormatEvents:\n%s\nwant:\n%s", got, want)
+	}
+	// FormatEvents must not reorder the caller's slice.
+	if evs[0].Comp != "b" {
+		t.Error("FormatEvents mutated its input")
+	}
+}
+
+// TestRecordGating: the event log is only kept under Record, but Fired counts
+// either way and identically.
+func TestRecordGating(t *testing.T) {
+	run := func(record bool) (int64, int) {
+		s := Heavy(11)
+		s.Record = record
+		spec := mustNorm(t, s)
+		in := New(spec, KindDram, 2, "dram-2")
+		for now := sim.Cycle(0); now < 2048; now++ {
+			in.DramJitter(now)
+			in.RefreshStorm(now)
+		}
+		return in.Fired(), len(in.Events())
+	}
+	fired1, n1 := run(true)
+	fired2, n2 := run(false)
+	if fired1 != fired2 {
+		t.Errorf("Record changed the schedule: fired %d vs %d", fired1, fired2)
+	}
+	if n1 == 0 {
+		t.Error("Record kept no events")
+	}
+	if n2 != 0 {
+		t.Errorf("events kept without Record: %d", n2)
+	}
+	if int64(n1) != fired1 {
+		t.Errorf("events (%d) != fired (%d)", n1, fired1)
+	}
+	if !strings.Contains(FormatEvents([]Event{{Comp: "dram-2", Fault: "dram-jitter", Cycle: 1, Arg: 4}}), "dram-jitter") {
+		t.Error("FormatEvents lost the fault name")
+	}
+}

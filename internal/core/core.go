@@ -11,6 +11,7 @@
 package core
 
 import (
+	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/mem"
 	"dcl1sim/internal/sim"
 	"dcl1sim/internal/stats"
@@ -168,6 +169,12 @@ type Core struct {
 	Out  *sim.Port[*mem.Access] // memory requests toward the L1 / NoC#1
 	In   *sim.Port[*mem.Access] // replies
 	Stat Stats
+
+	// Chaos, when set, injects issue-stage freezes. Drawn only while the
+	// issue stage is awake (asleep cores draw nothing in either tick mode),
+	// keeping the fault schedule shard- and fast-path-invariant; nil injects
+	// nothing.
+	Chaos *chaos.Injector
 
 	waves  []*wave
 	rr     int
@@ -357,6 +364,10 @@ func (c *Core) issue(now sim.Cycle) {
 		return
 	}
 	if now < c.sleepUntil {
+		c.Stat.StallNoReady++
+		return
+	}
+	if c.Chaos.IssueStalled(now) {
 		c.Stat.StallNoReady++
 		return
 	}

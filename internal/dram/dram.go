@@ -6,6 +6,7 @@
 package dram
 
 import (
+	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/mem"
 	"dcl1sim/internal/sim"
 )
@@ -106,6 +107,11 @@ type Channel struct {
 	Out  *sim.Port[*mem.Access]
 	Stat Stats
 
+	// Chaos, when set, injects per-issue timing jitter and refresh storms
+	// (windows with no command issue). Queried only with requests queued, so
+	// the fault schedule is shard- and fast-path-invariant; nil is a no-op.
+	Chaos *chaos.Injector
+
 	banks       []bank
 	busBusy     sim.Cycle
 	inflight    *sim.DelayQueue[*mem.Access]
@@ -152,6 +158,9 @@ func (c *Channel) Tick(now sim.Cycle) {
 	if c.In.Empty() {
 		return
 	}
+	if c.Chaos.RefreshStorm(now) {
+		return // storm window: no command issue; in-flight bursts still drain
+	}
 	if c.minReadyDirty {
 		c.minReady = c.banks[0].readyAt
 		for i := 1; i < len(c.banks); i++ {
@@ -190,6 +199,7 @@ func (c *Channel) Tick(now sim.Cycle) {
 		b.openedAt = start
 		dataAt = start + t.TCL
 	}
+	dataAt += c.Chaos.DramJitter(now)
 	// Serialize the burst on the channel data bus.
 	dataAt = maxCycle(dataAt, c.busBusy)
 	b.readyAt = dataAt + t.TBurst

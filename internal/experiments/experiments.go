@@ -11,6 +11,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"dcl1sim/internal/gpu"
 	"dcl1sim/internal/workload"
@@ -143,6 +144,15 @@ type Context struct {
 	// (deduplicated against the memo) before the experiment assembles its
 	// table. 0 or 1 keeps the fully serial behavior.
 	Workers int
+	// Journal, when non-nil, makes the sweep resumable: completed points are
+	// persisted and skipped on the next run (see OpenJournal).
+	Journal *Journal
+	// Retry re-attempts transiently failed points (deadline overruns) with
+	// capped exponential backoff. The zero value never retries.
+	Retry RetryPolicy
+	// PointDeadline bounds each individual simulation's wall clock on top of
+	// Health.Deadline (the tighter wins). 0 means unbounded.
+	PointDeadline time.Duration
 
 	failures []Failure
 
@@ -206,20 +216,29 @@ func (ctx *Context) run(cfg gpu.Config, d gpu.Design, app workload.Source) gpu.R
 		}
 		return gpu.Results{}
 	}
-	r, err := gpu.RunChecked(cfg, d, app, ctx.Health)
+	r, err := ctx.supervisor().RunOne(gpu.Job{Cfg: cfg, D: d, App: app})
 	if err != nil {
 		ctx.failures = append(ctx.failures, Failure{Design: d.Name(), App: app.Label(), Err: err})
-		if ctx.Progress != nil {
-			fmt.Fprintf(ctx.Progress, "  FAILED %-16s %-14s %v\n", d.Name(), app.Label(), err)
-		}
 		ctx.memo[key] = r // zero Results: the table shows the hole, once
 		return r
 	}
-	if ctx.Progress != nil {
-		fmt.Fprintf(ctx.Progress, "  ran %-16s %-14s IPC=%.2f miss=%.2f\n", d.Name(), app.Label(), r.IPC, r.L1MissRate)
-	}
 	ctx.memo[key] = r
 	return r
+}
+
+// supervisor assembles the sweep supervisor for this context's settings. The
+// supervisor owns progress printing, the panic barrier, retries, per-point
+// deadlines, and the resume journal; the context keeps the memo and the
+// failure list.
+func (ctx *Context) supervisor() *Supervisor {
+	return &Supervisor{
+		Health:        ctx.Health,
+		Workers:       ctx.Workers,
+		Retry:         ctx.Retry,
+		PointDeadline: ctx.PointDeadline,
+		Journal:       ctx.Journal,
+		Progress:      ctx.Progress,
+	}
 }
 
 // runDefault runs on the context's base machine.
@@ -254,19 +273,12 @@ func (ctx *Context) prefetch(e Experiment) {
 	if len(jobs) == 0 {
 		return
 	}
-	results, errs := gpu.RunManyChecked(jobs, ctx.Workers, ctx.Health)
+	results, errs := ctx.supervisor().RunAll(jobs)
 	for i, key := range keys {
 		if errs[i] != nil {
 			ctx.failures = append(ctx.failures, Failure{Design: names[i][0], App: names[i][1], Err: errs[i]})
-			if ctx.Progress != nil {
-				fmt.Fprintf(ctx.Progress, "  FAILED %-16s %-14s %v\n", names[i][0], names[i][1], errs[i])
-			}
 			ctx.memo[key] = gpu.Results{}
 			continue
-		}
-		if ctx.Progress != nil {
-			fmt.Fprintf(ctx.Progress, "  ran %-16s %-14s IPC=%.2f miss=%.2f\n",
-				names[i][0], names[i][1], results[i].IPC, results[i].L1MissRate)
 		}
 		ctx.memo[key] = results[i]
 	}

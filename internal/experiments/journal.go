@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"dcl1sim/internal/gpu"
+	"dcl1sim/internal/workload"
+)
+
+// JobKey returns the canonical identity of one sweep point — the same string
+// the experiment memo uses, so journal hits and memo hits agree. It encodes
+// the full design value (study knobs like PrefetchNext do not appear in the
+// display name), the normalized TrimReplies value, the app label, and the
+// machine configuration.
+func JobKey(j gpu.Job) string {
+	dd := j.D
+	trim := true
+	if dd.TrimReplies != nil {
+		trim = *dd.TrimReplies
+	}
+	dd.TrimReplies = nil
+	return fmt.Sprintf("%+v|trim=%v|%s|%+v", dd, trim, appLabel(j.App), j.Cfg)
+}
+
+// appLabel names the workload for keys and progress lines. Label is caller
+// code and may panic; that must degrade to a placeholder, not kill a sweep
+// worker outside the per-attempt barrier.
+func appLabel(app workload.Source) (label string) {
+	defer func() {
+		if recover() != nil {
+			label = "<unlabeled>"
+		}
+	}()
+	if app == nil {
+		return "<nil>"
+	}
+	return app.Label()
+}
+
+// journalEntry is one JSONL record: a completed sweep point, successful or
+// not. Failed points carry OK=false and the error text; they are re-run on
+// resume (the failure may have been transient), so only OK entries feed the
+// skip set.
+type journalEntry struct {
+	Key    string      `json:"key"`
+	OK     bool        `json:"ok"`
+	Err    string      `json:"err,omitempty"`
+	Result gpu.Results `json:"result"`
+}
+
+// Journal persists completed sweep points to a JSONL file so an interrupted
+// sweep resumes by skipping finished work. Results round-trip exactly:
+// encoding/json preserves float64 bit patterns and the cycle counts stay
+// below 2^53, so a resumed sweep's aggregate output is byte-identical to an
+// uninterrupted run's. Safe for concurrent use by the sweep workers.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]gpu.Results
+	seen int // total entries loaded or recorded, including failures
+}
+
+// OpenJournal opens (or creates) the journal at path and loads every entry
+// already present. A truncated or garbled tail line — the signature of a
+// killed process — is skipped, not fatal: the affected point simply re-runs.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: open journal: %w", err)
+	}
+	j := &Journal{f: f, done: map[string]gpu.Results{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if json.Unmarshal(line, &e) != nil || e.Key == "" {
+			continue // damaged line (interrupted write): point re-runs
+		}
+		j.seen++
+		if e.OK {
+			j.done[e.Key] = e.Result
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: read journal: %w", err)
+	}
+	// Append at the end — and if the file ends in a torn line (no trailing
+	// newline, the signature of a killed mid-write process), terminate it
+	// first so the next record starts on a fresh line instead of gluing onto
+	// the torn one and corrupting both.
+	off, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: seek journal: %w", err)
+	}
+	if off > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, off-1); err == nil && last[0] != '\n' {
+			f.Write([]byte("\n"))
+		}
+	}
+	return j, nil
+}
+
+// Done reports whether key completed successfully in a previous (or this)
+// run, returning its recorded results.
+func (j *Journal) Done(key string) (gpu.Results, bool) {
+	if j == nil {
+		return gpu.Results{}, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r, ok := j.done[key]
+	return r, ok
+}
+
+// Completed returns the number of successfully journaled points.
+func (j *Journal) Completed() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Record appends one completed point and syncs it to disk, so a kill after
+// Record never loses the point. Failures (err != nil) are journaled for the
+// record but re-run on resume. Nil-safe: a nil journal records nothing.
+func (j *Journal) Record(key string, r gpu.Results, err error) {
+	if j == nil {
+		return
+	}
+	e := journalEntry{Key: key, OK: err == nil, Result: r}
+	if err != nil {
+		e.Err = err.Error()
+		e.Result = gpu.Results{}
+	}
+	b, merr := json.Marshal(e)
+	if merr != nil {
+		return // Results is a plain value type; this cannot happen
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, werr := j.f.Write(append(b, '\n')); werr != nil {
+		return // disk trouble degrades resumability, never the sweep itself
+	}
+	j.f.Sync()
+	j.seen++
+	if err == nil {
+		j.done[key] = r
+	}
+}
+
+// Close releases the underlying file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"dcl1sim/internal/gpu"
+	"dcl1sim/internal/health"
+)
+
+// RetryPolicy bounds how a Supervisor retries transiently failed points.
+// Only wall-clock deadline overruns (*health.DeadlineError) are classified
+// transient — a deadlock, invariant violation, or panic is deterministic and
+// would simply recur. The zero value never retries.
+type RetryPolicy struct {
+	// Retries is the number of re-attempts after the first try (0 = none).
+	Retries int
+	// Backoff is the delay before the first retry; each further retry
+	// doubles it. 0 selects 250ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. 0 selects 5s.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Backoff <= 0 {
+		p.Backoff = 250 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	return p
+}
+
+// delay returns the backoff before retry number n (0-based), exponential and
+// capped.
+func (p RetryPolicy) delay(n int) time.Duration {
+	d := p.Backoff
+	for i := 0; i < n; i++ {
+		d *= 2
+		if d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if d > p.MaxBackoff {
+		return p.MaxBackoff
+	}
+	return d
+}
+
+// Supervisor runs sweep points so that no single point can take the campaign
+// down: every point executes behind a panic barrier (panics become typed
+// *health.SimError values with stacks), transient failures retry with capped
+// exponential backoff, a per-point deadline bounds each simulation, and
+// completed points are journaled so an interrupted sweep resumes by skipping
+// finished work. Failed points degrade into their error slots — callers emit
+// partial results plus a failure table instead of aborting.
+//
+// Contains a mutex; use by pointer and do not copy.
+type Supervisor struct {
+	// Health is the per-point health configuration (watchdog, deadline, ctx,
+	// chaos, shards). Shards are capped against Workers exactly as
+	// gpu.RunManyChecked does.
+	Health gpu.HealthOptions
+	// Workers is the sweep parallelism; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Retry classifies and retries transient failures.
+	Retry RetryPolicy
+	// PointDeadline bounds each point's wall clock, folded into
+	// Health.Deadline (the tighter of the two wins). 0 means unbounded.
+	PointDeadline time.Duration
+	// Journal, when non-nil, records completed points and supplies the skip
+	// set on resume.
+	Journal *Journal
+	// Progress, when non-nil, receives one line per point (ran / FAILED /
+	// skip / retry).
+	Progress io.Writer
+
+	mu sync.Mutex
+}
+
+// pointOpts returns the per-point health options: the caller's Health with
+// PointDeadline folded in.
+func (s *Supervisor) pointOpts() gpu.HealthOptions {
+	h := s.Health
+	if s.PointDeadline > 0 && (h.Deadline <= 0 || s.PointDeadline < h.Deadline) {
+		h.Deadline = s.PointDeadline
+	}
+	return h
+}
+
+// key returns the journal identity of one point. Chaos perturbs results, so
+// a chaotic point never matches a clean journal entry (and vice versa).
+func (s *Supervisor) key(j gpu.Job) string {
+	k := JobKey(j)
+	if s.Health.Chaos != nil {
+		k += fmt.Sprintf("|chaos=%+v", *s.Health.Chaos)
+	}
+	return k
+}
+
+func (s *Supervisor) progressf(format string, args ...interface{}) {
+	if s.Progress == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.Progress, format, args...)
+}
+
+// canceled reports whether err stems from the caller's context, which must
+// neither be retried nor journaled (the point didn't fail — the sweep was
+// told to stop, possibly mid-simulation with a half-finished result).
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// transient reports whether err is worth retrying: only wall-clock deadline
+// overruns qualify (host contention passes; deterministic failures recur).
+func transient(err error) bool {
+	var de *health.DeadlineError
+	return errors.As(err, &de)
+}
+
+// RunAll executes the batch across the worker pool and returns results in
+// job order, errs[i] non-nil where point i failed. Like gpu.RunManyChecked,
+// partial results are a hard guarantee: every point is attempted (or skipped
+// via the journal) regardless of earlier failures.
+func (s *Supervisor) RunAll(jobs []gpu.Job) ([]gpu.Results, []error) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	h := s.pointOpts()
+	if h.Shards > 1 && workers > 0 {
+		per := runtime.GOMAXPROCS(0) / workers
+		if per < 1 {
+			per = 1
+		}
+		if h.Shards > per {
+			h.Shards = per
+		}
+	}
+	out := make([]gpu.Results, len(jobs))
+	errs := make([]error, len(jobs))
+	if len(jobs) == 0 {
+		return out, errs
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = s.runPoint(jobs[i], h)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, errs
+}
+
+// RunOne executes a single point with the full supervision stack (journal
+// skip, panic barrier, retry, per-point deadline, journal record).
+func (s *Supervisor) RunOne(j gpu.Job) (gpu.Results, error) {
+	return s.runPoint(j, s.pointOpts())
+}
+
+func (s *Supervisor) runPoint(j gpu.Job, h gpu.HealthOptions) (gpu.Results, error) {
+	name, app := j.D.Name(), appLabel(j.App)
+	key := s.key(j)
+	if r, ok := s.Journal.Done(key); ok {
+		s.progressf("  skip %-16s %-14s (journaled)\n", name, app)
+		return r, nil
+	}
+	retry := s.Retry.withDefaults()
+	for attempt := 0; ; attempt++ {
+		if h.Ctx != nil && h.Ctx.Err() != nil {
+			return gpu.Results{}, fmt.Errorf("experiments: point %s/%s canceled before start: %w",
+				name, app, h.Ctx.Err())
+		}
+		r, err := runGuarded(j, h)
+		if err == nil {
+			s.Journal.Record(key, r, nil)
+			s.progressf("  ran %-16s %-14s IPC=%.2f miss=%.2f\n", name, app, r.IPC, r.L1MissRate)
+			return r, nil
+		}
+		if canceled(err) {
+			return gpu.Results{}, err
+		}
+		if transient(err) && attempt < retry.Retries {
+			s.progressf("  retry %-16s %-14s attempt %d/%d: %v\n",
+				name, app, attempt+2, retry.Retries+1, err)
+			time.Sleep(retry.delay(attempt))
+			continue
+		}
+		s.Journal.Record(key, gpu.Results{}, err)
+		s.progressf("  FAILED %-16s %-14s %v\n", name, app, err)
+		return gpu.Results{}, err
+	}
+}
+
+// runGuarded is one attempt behind a panic barrier: gpu.RunChecked already
+// recovers simulation panics, so this only catches what escapes it (e.g. a
+// misbehaving workload source), converting it into the same typed error.
+func runGuarded(j gpu.Job, h gpu.HealthOptions) (r gpu.Results, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = gpu.Results{}
+			err = &health.SimError{
+				Design: j.D.Name(),
+				App:    appLabel(j.App),
+				Cause:  p,
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	return gpu.RunChecked(j.Cfg, j.D, j.App, h)
+}
+
+// WriteFailureTable renders the failed points of a finished sweep as an
+// aligned table and returns how many there were. Zero failures writes
+// nothing. The caller pairs this with whatever partial results it produced:
+// degrade loudly, never abort.
+func WriteFailureTable(w io.Writer, failures []Failure) int {
+	if len(failures) == 0 {
+		return 0
+	}
+	fmt.Fprintf(w, "\n%d point(s) failed:\n", len(failures))
+	fmt.Fprintf(w, "  %-20s %-16s %s\n", "DESIGN", "APP", "ERROR")
+	for _, f := range failures {
+		fmt.Fprintf(w, "  %-20s %-16s %v\n", f.Design, f.App, f.Err)
+	}
+	return len(failures)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dcl1sim/internal/cache"
+	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/core"
 	"dcl1sim/internal/dcl1"
 	"dcl1sim/internal/dram"
@@ -56,6 +57,11 @@ type System struct {
 	// contract that makes both modes bit-identical.
 	Pool   *mem.Pool
 	noPool bool
+
+	// Fault injection (InstallChaos): the normalized spec and the per-
+	// component injectors, in installation order.
+	chaosSpec *chaos.Spec
+	injectors []*chaos.Injector
 }
 
 // BuildOption adjusts how NewSystem assembles a machine.

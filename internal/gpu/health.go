@@ -5,6 +5,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/health"
 	"dcl1sim/internal/noc"
 	"dcl1sim/internal/sim"
@@ -40,6 +41,11 @@ type HealthOptions struct {
 	// contract makes results bit-identical at every shard count; the knob
 	// trades goroutines for wall-clock speed on saturated runs.
 	Shards int
+	// Chaos, when non-nil, arms deterministic fault injection on every
+	// component before the run starts (see InstallChaos and the chaos
+	// package). The fault schedule is a pure function of the spec, so a
+	// chaotic run is just as replayable and shard-invariant as a clean one.
+	Chaos *chaos.Spec
 }
 
 // NewSystemChecked is NewSystem returning validation errors instead of
@@ -243,6 +249,11 @@ func (s *System) RunChecked(opts HealthOptions) (r Results, err error) {
 	}
 	if opts.Shards > 1 {
 		s.SetShards(opts.Shards)
+	}
+	if opts.Chaos != nil {
+		if err := s.InstallChaos(opts.Chaos); err != nil {
+			return Results{}, err
+		}
 	}
 	mon := s.NewMonitor()
 	ro := sim.RunOptions{

@@ -36,6 +36,10 @@ type Results struct {
 	Noc1Flits int64
 	Noc2Flits int64
 
+	// FaultsInjected counts chaos fault occurrences across all injectors,
+	// cumulative over warmup plus measurement (0 without fault injection).
+	FaultsInjected int64
+
 	// Per-node port utilizations (ascending node id), for Fig 17.
 	L1PortUtil []float64
 }
@@ -185,6 +189,7 @@ func (s *System) collect(cycles sim.Cycle) Results {
 	if s.MeshReq != nil {
 		r.Noc2Flits += s.MeshReq.Stat.FlitHops + s.MeshRep.Stat.FlitHops
 	}
+	r.FaultsInjected = s.FaultsInjected()
 	return r
 }
 

@@ -21,6 +21,9 @@ func (r Results) Summary() string {
 	fmt.Fprintf(&sb, "L2 miss rate:      %.3f\n", r.L2MissRate)
 	fmt.Fprintf(&sb, "DRAM reads/writes: %d / %d\n", r.DramReads, r.DramWrites)
 	fmt.Fprintf(&sb, "NoC#1 / NoC#2 flits: %d / %d\n", r.Noc1Flits, r.Noc2Flits)
+	if r.FaultsInjected > 0 {
+		fmt.Fprintf(&sb, "faults injected:   %d\n", r.FaultsInjected)
+	}
 	return sb.String()
 }
 

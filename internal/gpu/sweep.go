@@ -3,8 +3,10 @@ package gpu
 import (
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
+	"dcl1sim/internal/health"
 	"dcl1sim/internal/workload"
 )
 
@@ -56,6 +58,14 @@ func RunMany(jobs []Job, workers int) []Results {
 // A canceled opts.Ctx aborts running jobs at their next watchdog slice and
 // fails not-yet-started jobs immediately, so sweeps wind down cleanly.
 //
+// Partial results are a hard guarantee, not best effort: out and errs always
+// have len(jobs) entries, every job is attempted regardless of earlier
+// failures, and out[i] is valid exactly when errs[i] is nil. Each job runs
+// behind its own panic barrier (runJobChecked), so even a panic that escapes
+// the run's internal recovery — e.g. from a misbehaving workload.Source —
+// becomes that job's *health.SimError instead of killing the worker pool and
+// discarding completed runs.
+//
 // Workers and shards compose: workers takes precedence, and opts.Shards is
 // capped at GOMAXPROCS/workers (floor 1) so the sweep's total goroutine
 // demand stays near GOMAXPROCS instead of multiplying. Shard count never
@@ -92,7 +102,7 @@ func RunManyChecked(jobs []Job, workers int, opts HealthOptions) (out []Results,
 					errs[i] = fmt.Errorf("gpu: job %d canceled before start: %w", i, opts.Ctx.Err())
 					continue
 				}
-				out[i], errs[i] = RunChecked(jobs[i].Cfg, jobs[i].D, jobs[i].App, opts)
+				out[i], errs[i] = runJobChecked(jobs[i], opts)
 			}
 		}()
 	}
@@ -102,4 +112,36 @@ func RunManyChecked(jobs []Job, workers int, opts HealthOptions) (out []Results,
 	close(next)
 	wg.Wait()
 	return out, errs
+}
+
+// runJobChecked runs one sweep job behind a panic barrier, converting any
+// panic RunChecked's own recovery did not absorb into a *health.SimError so
+// the worker pool — and the other jobs' results — survive.
+func runJobChecked(j Job, opts HealthOptions) (r Results, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r = Results{}
+			err = &health.SimError{
+				Design: j.D.Name(),
+				App:    safeLabel(j.App),
+				Cause:  p,
+				Stack:  string(debug.Stack()),
+			}
+		}
+	}()
+	return RunChecked(j.Cfg, j.D, j.App, opts)
+}
+
+// safeLabel reads app.Label() without trusting it: the panic barrier above
+// exists precisely because a workload source may misbehave.
+func safeLabel(app workload.Source) (label string) {
+	defer func() {
+		if recover() != nil {
+			label = "<unlabeled>"
+		}
+	}()
+	if app == nil {
+		return "<nil>"
+	}
+	return app.Label()
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/mem"
 	"dcl1sim/internal/sim"
 )
@@ -99,6 +100,12 @@ func (s *Stats) MaxOutUtilization() float64 {
 type Crossbar struct {
 	P    Params
 	Stat Stats
+
+	// Chaos, when set, injects grant perturbations (extra serialization
+	// cycles) and transient output jams. All queries happen on the Tick path
+	// with affected work present, keeping the fault schedule shard- and
+	// fast-path-invariant; nil injects nothing.
+	Chaos *chaos.Injector
 
 	inj       []*sim.Port[*mem.Packet]    // per-input injection port (the two-phase boundary)
 	voq       [][]*sim.Queue[*mem.Packet] // [in][out]
@@ -274,7 +281,7 @@ func (x *Crossbar) Tick(now sim.Cycle) {
 	x.lastTick = now
 	x.Stat.Cycles++
 	x.drainInject()
-	x.deliverStaged()
+	x.deliverStaged(now)
 	x.completeTraversals(now)
 	x.arbitrate(now)
 	if !x.attached {
@@ -313,11 +320,14 @@ func (x *Crossbar) SkipIdle(now sim.Cycle, n sim.Cycle) {
 
 // deliverStaged pushes post-traversal packets into endpoints, in output-port
 // order (deterministic: ascending set bits match the full-port scan).
-func (x *Crossbar) deliverStaged() {
+func (x *Crossbar) deliverStaged(now sim.Cycle) {
 	for wi, w := range x.stagedBits {
 		for w != 0 {
 			o := wi*64 + bits.TrailingZeros64(w)
 			w &= w - 1
+			if x.Chaos.OutputJammed(now, o) {
+				continue // jammed output delivers nothing this cycle
+			}
 			q := x.staged[o]
 			for {
 				p, ok := q.Peek()
@@ -372,6 +382,9 @@ func (x *Crossbar) arbitrate(now sim.Cycle) {
 			if x.staged[o].Space() == 0 {
 				continue // don't grant into a full stage
 			}
+			if x.Chaos.OutputJammed(now, o) {
+				continue // jammed output grants nothing this cycle
+			}
 			in := x.pickInput(x.voqBits[o], x.rr[o], now)
 			if in < 0 {
 				continue
@@ -389,6 +402,7 @@ func (x *Crossbar) arbitrate(now sim.Cycle) {
 			}
 			// Grant: serialize p.Flits flits at one per cycle on both ports.
 			dur := sim.Cycle(p.Flits)
+			dur += x.Chaos.GrantPerturb(now, o, p.Flits)
 			x.inBusy[in] = now + dur
 			x.outBusy[o] = now + dur
 			x.inFlight.Push(p, now+dur+x.P.RouterLat)

@@ -253,7 +253,20 @@ type Engine struct {
 	fast   bool
 	shards int
 	ex     *executor
+
+	// ctx, when non-nil, lets RunUntil abandon a long stretch early: the loop
+	// polls it every ctxPollEdges edges and simply stops advancing once it is
+	// canceled. Set only by RunUntilChecked (which owns reporting the
+	// cancellation as an error); plain RunUntil callers see no change.
+	ctx context.Context
 }
+
+// ctxPollEdges is how many edges RunUntil processes between context polls: a
+// CheckEvery slice can span millions of edges on a saturated run, so waiting
+// for the slice boundary would make WithContext cancellation arbitrarily
+// slow. Polling a few thousand edges apart keeps the overhead unmeasurable
+// while bounding the response to well under a millisecond of work.
+const ctxPollEdges = 4096
 
 // NewEngine returns an empty engine with the quiescence fast path enabled
 // and serial (single-shard) execution.
@@ -324,7 +337,16 @@ func (e *Engine) RunUntil(ref *Clock, cycles Cycle) {
 			e.ex = nil
 		}()
 	}
+	poll := 0
 	for ref.cycle < cycles {
+		if e.ctx != nil {
+			if poll++; poll >= ctxPollEdges {
+				poll = 0
+				if e.ctx.Err() != nil {
+					return
+				}
+			}
+		}
 		if e.fast && e.allIdle() && e.fastForward(ref, cycles) {
 			continue
 		}
@@ -464,6 +486,12 @@ func (e *Engine) clockStates() []health.ClockState {
 // to RunUntil.
 func (e *Engine) RunUntilChecked(ref *Clock, cycles Cycle, opts RunOptions) error {
 	opts = opts.withDefaults()
+	if opts.Ctx != nil {
+		// Arm mid-slice polling: RunUntil returns early once the context is
+		// canceled, and the slice-top check below reports the error.
+		e.ctx = opts.Ctx
+		defer func() { e.ctx = nil }()
+	}
 	start := time.Now()
 	lastProgress := ref.cycle
 	watch := opts.Monitor != nil && opts.Monitor.Probes() > 0 && opts.StallWindow > 0

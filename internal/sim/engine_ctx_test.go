@@ -45,6 +45,30 @@ func TestRunUntilCheckedContextMidRun(t *testing.T) {
 	}
 }
 
+func TestRunUntilCheckedContextMidSlice(t *testing.T) {
+	// With CheckEvery far beyond the target there is only one watchdog slice,
+	// so slice-top checks alone would notice the cancellation only at the end.
+	// The engine polls the context every few thousand edges inside RunUntil,
+	// so the abort must land promptly after the cancel, not at the target.
+	e := NewEngine()
+	clk := e.NewClock("core", 1000)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const cancelAt = 1000
+	clk.Register(TickFunc(func(c Cycle) {
+		if c == cancelAt {
+			cancel()
+		}
+	}))
+	err := e.RunUntilChecked(clk, 1_000_000, RunOptions{Ctx: ctx, CheckEvery: 5_000_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if clk.Now() <= cancelAt || clk.Now() >= 20_000 {
+		t.Fatalf("canceled run stopped at cycle %d, want shortly after %d", clk.Now(), cancelAt)
+	}
+}
+
 func TestRunUntilCheckedContextHealthy(t *testing.T) {
 	// A live context must not perturb a healthy run: same landing cycle as an
 	// unchecked run, no error.

@@ -3,6 +3,7 @@ package dcl1
 import (
 	"context"
 
+	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/gpu"
 )
 
@@ -20,6 +21,7 @@ type runConfig struct {
 	noPool  bool
 	workers int
 	shards  int
+	chaos   *chaos.Spec
 }
 
 // WithHealth sets the health layer's knobs: stall window, check period, and
@@ -86,6 +88,9 @@ func (rc *runConfig) healthOptions() HealthOptions {
 	}
 	if rc.shards > 0 {
 		h.Shards = rc.shards
+	}
+	if rc.chaos != nil {
+		h.Chaos = rc.chaos
 	}
 	return h
 }
