@@ -12,12 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"dcl1sim"
@@ -65,6 +69,12 @@ func main() {
 		return
 	}
 
+	// An interrupted sweep (Ctrl-C, SIGTERM) cancels between watchdog
+	// slices instead of dying mid-write: completed points are already
+	// fsynced to the resume journal, so -resume continues cleanly.
+	sigCtx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
 	ctx := experiments.NewContext()
 	if *quick {
 		ctx = experiments.QuickContext()
@@ -72,6 +82,7 @@ func main() {
 	if *verbose {
 		ctx.Progress = os.Stderr
 	}
+	ctx.Health.Ctx = sigCtx
 	ctx.Health.Deadline = *deadline
 	ctx.Health.StallWindow = *stallWindow
 	ctx.Workers = *workers
@@ -128,6 +139,9 @@ func main() {
 	}
 	// Tables already rendered above carry zero cells for any failed point:
 	// the sweep degrades into partial results plus this failure table.
+	if errors.Is(sigCtx.Err(), context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted: journaled points are safe; re-run with the same -resume file to continue")
+	}
 	if fails := ctx.Failures(); len(fails) > 0 {
 		experiments.WriteFailureTable(os.Stderr, fails)
 		exit(1)

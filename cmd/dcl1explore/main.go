@@ -9,19 +9,28 @@
 //	dcl1explore -app T-AlexNet [-boost] [-cycles 20000]
 //	dcl1explore -app T-AlexNet -resume explore.jsonl   # journal; re-run resumes
 //	dcl1explore -app T-AlexNet -chaos heavy -retries 2 -point-deadline 30s
+//	dcl1explore -app T-AlexNet -spec-out sweep.json    # emit the grid as a
+//	                                                   # sweep spec for dcl1serve
 //
 // The sweep degrades gracefully: a failed point prints FAILED in its table row
 // and the run exits non-zero with a failure table, instead of aborting on the
-// first error.
+// first error. SIGINT/SIGTERM cancel the sweep between watchdog slices, so an
+// interrupted run flushes its resume journal cleanly and a re-run with the
+// same -resume file continues where it stopped.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"dcl1sim"
 	"dcl1sim/internal/experiments"
+	"dcl1sim/internal/serve"
 	"dcl1sim/internal/sim"
 )
 
@@ -42,6 +51,7 @@ func main() {
 		pointDeadline = flag.Duration("point-deadline", 0, "wall-clock bound per sweep point, folded into -deadline (tighter wins; 0 = none)")
 		chaosPreset   = flag.String("chaos", "", "fault-injection preset: off, light, or heavy")
 		chaosSeed     = flag.Uint64("chaos-seed", 1, "fault-injection seed (with -chaos)")
+		specOut       = flag.String("spec-out", "", "write the sweep spec JSON (the grid this command walks, POSTable to dcl1serve) to this file and exit")
 		verbose       = flag.Bool("v", false, "print each simulation as it runs")
 	)
 	flag.Parse()
@@ -51,13 +61,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown app %q\n", *appName)
 		os.Exit(1)
 	}
-	cfg := dcl1.Config{MeasureCycles: sim.Cycle(*cycles), WarmupCycles: sim.Cycle(*warmup)}
-	opts := dcl1.HealthOptions{StallWindow: sim.Cycle(*stallWindow), Deadline: *deadline, Shards: *shards}
-	if spec, err := dcl1.ChaosPreset(*chaosPreset, *chaosSeed); err != nil {
+
+	// The point grid is the shared sweep-spec encoding: the exact spec this
+	// command walks can be emitted with -spec-out and POSTed to dcl1serve,
+	// which expands it to the same jobs (same memo keys, same results).
+	spec := serve.ExploreSpec(*appName, *boost, *cycles, *warmup)
+	if *chaosPreset != "" && *chaosPreset != "off" {
+		spec.Chaos = *chaosPreset
+		spec.ChaosSeed = *chaosSeed
+	}
+	if *specOut != "" {
+		if err := os.WriteFile(*specOut, append(spec.Encode(), '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote sweep spec (%d points) to %s\n", len(spec.Designs), *specOut)
+		return
+	}
+
+	// An interrupted sweep (Ctrl-C, SIGTERM) cancels between watchdog
+	// slices: completed points are already fsynced to the resume journal, so
+	// nothing is lost mid-write and -resume continues cleanly.
+	sigCtx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	cfg := spec.Config()
+	opts := dcl1.HealthOptions{
+		StallWindow: sim.Cycle(*stallWindow),
+		Deadline:    *deadline,
+		Shards:      *shards,
+		Ctx:         sigCtx,
+	}
+	if pspec, err := dcl1.ChaosPreset(*chaosPreset, *chaosSeed); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	} else if spec != nil {
-		opts.Chaos = spec
+	} else if pspec != nil {
+		opts.Chaos = pspec
 	}
 
 	// The sweep runs under the experiments supervisor: panics become typed
@@ -95,24 +134,16 @@ func main() {
 		canRun  bool
 		boosted bool
 	}
-	var pts []point
-
-	// Aggregation axis: private designs.
-	for _, y := range []int{80, 40, 20, 10} {
-		pts = append(pts, point{d: dcl1.Design{Kind: dcl1.Private, DCL1s: y}})
-	}
-	// Sharing-granularity axis: clusters of Sh40.
-	for _, z := range []int{1, 5, 10, 20} {
-		d := dcl1.Design{Kind: dcl1.Clustered, DCL1s: 40, Clusters: z}
-		if z == 1 {
-			d = dcl1.Sh40()
+	// Spec index 0 is the baseline; every later design is one table row.
+	allJobs, jobErrs := spec.Jobs()
+	pts := make([]point, 0, len(spec.Designs)-1)
+	for _, name := range spec.Designs[1:] {
+		d, err := dcl1.ParseDesign(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "internal: grid design %q: %v\n", name, err)
+			os.Exit(1)
 		}
-		pts = append(pts, point{d: d})
-		if *boost {
-			db := d
-			db.Boost1 = true
-			pts = append(pts, point{d: db, boosted: true})
-		}
+		pts = append(pts, point{d: d, boosted: d.Boost1})
 	}
 
 	// Feasibility of the boost: every NoC#1 crossbar must clock 2x. Feasible
@@ -121,23 +152,23 @@ func main() {
 	// identical for any worker count.
 	for i := range pts {
 		p := &pts[i]
-		p.canRun = true
+		p.canRun = jobErrs[i+1] == nil
 		if p.boosted {
-			spec := dcl1.DesignNoC(cfg, p.d)
-			for _, x := range spec.Xbars {
+			nspec := dcl1.DesignNoC(cfg, p.d)
+			for _, x := range nspec.Xbars {
 				if x.FreqMHz > dcl1.NoCMaxFreqMHz(x.In, x.Out) {
 					p.canRun = false
 				}
 			}
 		}
 	}
-	jobs := []dcl1.Job{{Cfg: cfg, D: dcl1.Design{Kind: dcl1.Baseline}, App: app}}
+	jobs := []dcl1.Job{allJobs[0]}
 	jobOf := make([]int, len(pts))
 	for i := range pts {
 		jobOf[i] = -1
 		if pts[i].canRun {
 			jobOf[i] = len(jobs)
-			jobs = append(jobs, dcl1.Job{Cfg: cfg, D: pts[i].d, App: app})
+			jobs = append(jobs, allJobs[i+1])
 		}
 	}
 	results, errs := sup.RunAll(jobs)
@@ -191,6 +222,9 @@ func main() {
 	if best >= 0 {
 		fmt.Printf("\nbest performance-per-NoC-area: %s (%.2fx speedup at %.2fx area)\n",
 			pts[best].d.Name(), pts[best].speed, pts[best].area)
+	}
+	if errors.Is(sigCtx.Err(), context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted: journaled points are safe; re-run with the same -resume file to continue")
 	}
 	if experiments.WriteFailureTable(os.Stderr, fails) > 0 {
 		os.Exit(1)

@@ -41,6 +41,82 @@ func appLabel(app workload.Source) (label string) {
 	return app.Label()
 }
 
+// Log is the storage engine under the resume journal and the service-layer
+// job log: an append-only JSONL file where every record is fsynced before
+// Append returns, so a record that was reported durable survives any kill.
+// Opening repairs the signature damage of a killed writer — a torn tail line
+// (no trailing newline) is terminated so the next append starts on a fresh
+// line, and garbled whole lines are surfaced to the caller's line callback to
+// skip rather than aborting the open. Safe for concurrent use.
+type Log struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenLog opens (or creates) the JSONL log at path, invokes line for every
+// existing line (including damaged ones — the callback decides what parses),
+// repairs a torn tail, and positions the log for appending.
+func OpenLog(path string, line func([]byte)) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: open log: %w", err)
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if b := sc.Bytes(); len(b) > 0 && line != nil {
+			line(b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: read log: %w", err)
+	}
+	// Append at the end — and if the file ends in a torn line (no trailing
+	// newline, the signature of a killed mid-write process), terminate it
+	// first so the next record starts on a fresh line instead of gluing onto
+	// the torn one and corrupting both.
+	off, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: seek log: %w", err)
+	}
+	if off > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, off-1); err == nil && last[0] != '\n' {
+			f.Write([]byte("\n"))
+		}
+	}
+	return &Log{f: f}, nil
+}
+
+// Append marshals v as one JSON line and fsyncs it: when Append returns nil
+// the record is durable. Marshal failures are reported; write failures are
+// reported but leave the log usable (disk trouble degrades durability, never
+// the caller's in-memory progress).
+func (l *Log) Append(v interface{}) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("experiments: marshal log record: %w", err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := l.f.Write(append(b, '\n')); err != nil {
+		return fmt.Errorf("experiments: append log record: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("experiments: sync log: %w", err)
+	}
+	return nil
+}
+
+// Close releases the underlying file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
 // journalEntry is one JSONL record: a completed sweep point, successful or
 // not. Failed points carry OK=false and the error text; they are re-run on
 // resume (the failure may have been transient), so only OK entries feed the
@@ -56,58 +132,41 @@ type journalEntry struct {
 // sweep resumes by skipping finished work. Results round-trip exactly:
 // encoding/json preserves float64 bit patterns and the cycle counts stay
 // below 2^53, so a resumed sweep's aggregate output is byte-identical to an
-// uninterrupted run's. Safe for concurrent use by the sweep workers.
+// uninterrupted run's. The same property makes it a content-addressed result
+// store: keys are the canonical point identity (JobKey + chaos spec), so any
+// caller holding an equal key — another sweep, another service tenant,
+// another process lifetime — gets the identical stored result. Safe for
+// concurrent use by the sweep workers.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	done map[string]gpu.Results
-	seen int // total entries loaded or recorded, including failures
+	log    *Log
+	mu     sync.Mutex
+	done   map[string]gpu.Results
+	failed map[string]string // key → error text of the last failed attempt
+	seen   int               // total entries loaded or recorded, including failures
 }
 
 // OpenJournal opens (or creates) the journal at path and loads every entry
 // already present. A truncated or garbled tail line — the signature of a
 // killed process — is skipped, not fatal: the affected point simply re-runs.
 func OpenJournal(path string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: open journal: %w", err)
-	}
-	j := &Journal{f: f, done: map[string]gpu.Results{}}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
+	j := &Journal{done: map[string]gpu.Results{}, failed: map[string]string{}}
+	log, err := OpenLog(path, func(line []byte) {
 		var e journalEntry
 		if json.Unmarshal(line, &e) != nil || e.Key == "" {
-			continue // damaged line (interrupted write): point re-runs
+			return // damaged line (interrupted write): point re-runs
 		}
 		j.seen++
 		if e.OK {
 			j.done[e.Key] = e.Result
+			delete(j.failed, e.Key)
+		} else {
+			j.failed[e.Key] = e.Err
 		}
-	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("experiments: read journal: %w", err)
-	}
-	// Append at the end — and if the file ends in a torn line (no trailing
-	// newline, the signature of a killed mid-write process), terminate it
-	// first so the next record starts on a fresh line instead of gluing onto
-	// the torn one and corrupting both.
-	off, err := f.Seek(0, 2)
+	})
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("experiments: seek journal: %w", err)
+		return nil, err
 	}
-	if off > 0 {
-		last := make([]byte, 1)
-		if _, err := f.ReadAt(last, off-1); err == nil && last[0] != '\n' {
-			f.Write([]byte("\n"))
-		}
-	}
+	j.log = log
 	return j, nil
 }
 
@@ -121,6 +180,23 @@ func (j *Journal) Done(key string) (gpu.Results, bool) {
 	defer j.mu.Unlock()
 	r, ok := j.done[key]
 	return r, ok
+}
+
+// Failed reports whether key's most recent journaled attempt failed (with no
+// success since), returning the recorded error text. Failed entries are
+// advisory — resume re-runs them — but a reader reconstructing a finished
+// job's report wants the recorded failure rather than a blank.
+func (j *Journal) Failed(key string) (string, bool) {
+	if j == nil {
+		return "", false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.done[key]; ok {
+		return "", false
+	}
+	msg, ok := j.failed[key]
+	return msg, ok
 }
 
 // Completed returns the number of successfully journaled points.
@@ -145,19 +221,17 @@ func (j *Journal) Record(key string, r gpu.Results, err error) {
 		e.Err = err.Error()
 		e.Result = gpu.Results{}
 	}
-	b, merr := json.Marshal(e)
-	if merr != nil {
-		return // Results is a plain value type; this cannot happen
+	if j.log.Append(e) != nil {
+		return // disk trouble degrades resumability, never the sweep itself
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if _, werr := j.f.Write(append(b, '\n')); werr != nil {
-		return // disk trouble degrades resumability, never the sweep itself
-	}
-	j.f.Sync()
 	j.seen++
 	if err == nil {
 		j.done[key] = r
+		delete(j.failed, key)
+	} else {
+		j.failed[key] = e.Err
 	}
 }
 
@@ -166,5 +240,5 @@ func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
-	return j.f.Close()
+	return j.log.Close()
 }

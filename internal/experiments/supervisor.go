@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/gpu"
 	"dcl1sim/internal/health"
 )
@@ -95,14 +96,22 @@ func (s *Supervisor) pointOpts() gpu.HealthOptions {
 	return h
 }
 
-// key returns the journal identity of one point. Chaos perturbs results, so
-// a chaotic point never matches a clean journal entry (and vice versa).
-func (s *Supervisor) key(j gpu.Job) string {
+// PointKey returns the content address of one supervised point: JobKey plus
+// the chaos spec when fault injection is armed. Chaos perturbs results, so a
+// chaotic point never matches a clean journal entry (and vice versa). The
+// service layer's result cache uses the same key, so cache hits and journal
+// hits agree everywhere a point's identity matters.
+func PointKey(j gpu.Job, spec *chaos.Spec) string {
 	k := JobKey(j)
-	if s.Health.Chaos != nil {
-		k += fmt.Sprintf("|chaos=%+v", *s.Health.Chaos)
+	if spec != nil {
+		k += fmt.Sprintf("|chaos=%+v", *spec)
 	}
 	return k
+}
+
+// key returns the journal identity of one point.
+func (s *Supervisor) key(j gpu.Job) string {
+	return PointKey(j, s.Health.Chaos)
 }
 
 func (s *Supervisor) progressf(format string, args ...interface{}) {
@@ -205,12 +214,33 @@ func (s *Supervisor) runPoint(j gpu.Job, h gpu.HealthOptions) (gpu.Results, erro
 		if transient(err) && attempt < retry.Retries {
 			s.progressf("  retry %-16s %-14s attempt %d/%d: %v\n",
 				name, app, attempt+2, retry.Retries+1, err)
-			time.Sleep(retry.delay(attempt))
+			if serr := sleepCtx(h.Ctx, retry.delay(attempt)); serr != nil {
+				return gpu.Results{}, fmt.Errorf("experiments: point %s/%s canceled during retry backoff: %w",
+					name, app, serr)
+			}
 			continue
 		}
 		s.Journal.Record(key, gpu.Results{}, err)
 		s.progressf("  FAILED %-16s %-14s %v\n", name, app, err)
 		return gpu.Results{}, err
+	}
+}
+
+// sleepCtx sleeps for d but returns early with ctx.Err() if ctx is canceled
+// first, so a shutting-down sweep never leaves a worker parked in a retry
+// backoff. A nil ctx sleeps unconditionally.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 

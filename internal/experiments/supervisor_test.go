@@ -138,6 +138,58 @@ func TestSupervisorRetryExhaustsOnDeadline(t *testing.T) {
 	}
 }
 
+// TestSupervisorBackoffHonorsCancel: a canceled context must interrupt the
+// retry backoff sleep itself, not just the next attempt — a drain signal
+// during a long backoff may otherwise leave worker goroutines lingering for
+// the full delay after shutdown.
+func TestSupervisorBackoffHonorsCancel(t *testing.T) {
+	jobs := sweepJobs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Supervisor{
+		Health:        gpu.HealthOptions{Ctx: ctx},
+		PointDeadline: time.Nanosecond, // every attempt overruns: transient, retried
+		Retry:         RetryPolicy{Retries: 3, Backoff: time.Hour, MaxBackoff: time.Hour},
+	}
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := s.RunOne(jobs[0])
+		done <- err
+	}()
+	time.AfterFunc(50*time.Millisecond, cancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 30*time.Second {
+			t.Fatalf("cancel took %v — backoff sleep ignored the context", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunOne still sleeping in backoff 30s after cancel")
+	}
+}
+
+// TestSleepCtx pins the helper's contract: nil ctx sleeps; live ctx sleeps;
+// canceled ctx returns immediately with the cause.
+func TestSleepCtx(t *testing.T) {
+	if err := sleepCtx(nil, time.Millisecond); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if err := sleepCtx(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("live ctx: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := sleepCtx(ctx, time.Hour); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: %v", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("canceled ctx still slept")
+	}
+}
+
 func TestFailureClassification(t *testing.T) {
 	if !transient(&health.DeadlineError{}) {
 		t.Error("DeadlineError not transient")

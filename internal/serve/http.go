@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// DefaultTenant is the tenant name used when a request carries no X-Tenant
+// header.
+const DefaultTenant = "anon"
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs              submit a sweep spec; 201 with the job snapshot,
+//	                           400 on a bad spec, 429 + Retry-After under
+//	                           backpressure, 503 while draining
+//	GET  /v1/jobs/{id}         job status snapshot with per-point results
+//	GET  /v1/jobs/{id}/stream  per-point results as they land: NDJSON by
+//	                           default, SSE with Accept: text/event-stream
+//	GET  /healthz              liveness (always 200 while the process serves)
+//	GET  /readyz               admission readiness (503 while draining)
+//	GET  /statz                operability snapshot (queue depths, cache hit
+//	                           rate, per-tenant in-flight, points/s)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Ready() {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	})
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// tenantOf extracts and validates the tenant identity. Tenant names become
+// map keys and log fields, so the charset is restricted.
+func tenantOf(r *http.Request) (string, error) {
+	t := r.Header.Get("X-Tenant")
+	if t == "" {
+		return DefaultTenant, nil
+	}
+	if len(t) > 64 {
+		return "", fmt.Errorf("tenant name longer than 64 bytes")
+	}
+	for _, c := range t {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return "", fmt.Errorf("tenant name may only contain [A-Za-z0-9._-]")
+		}
+	}
+	return t, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenantName, err := tenantOf(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad tenant: %v", err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	spec, err := ParseSweepSpec(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, err := s.Submit(tenantName, spec)
+	if err != nil {
+		var ae *AdmissionError
+		if errors.As(err, &ae) {
+			secs := int(ae.RetryAfter.Seconds())
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeJSON(w, ae.Status, map[string]interface{}{
+				"error":               ae.Reason,
+				"retry_after_seconds": secs,
+			})
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+st.ID)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.Job(r.PathValue("id"), true)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleStream follows a job, emitting one record per completed point in
+// completion order, then a terminal summary record. NDJSON by default; SSE
+// ("event: point" / "event: done") when the client asks for
+// text/event-stream. The stream ends when the job finishes or the client
+// goes away; a drain does not cut established streams.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.Job(id, false); !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	emit := func(event string, v interface{}) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b)
+		} else {
+			_, err = fmt.Fprintf(w, "%s\n", b)
+		}
+		flush()
+		return err == nil
+	}
+
+	sent := 0
+	for {
+		rows, finished, ch, ok := s.follow(id, sent)
+		if !ok {
+			return
+		}
+		for _, row := range rows {
+			if !emit("point", row) {
+				return
+			}
+		}
+		sent += len(rows)
+		if finished {
+			st, _ := s.Job(id, false)
+			emit("done", struct {
+				Done bool `json:"done"`
+				JobStatus
+			}{true, st})
+			return
+		}
+		select {
+		case <-ch:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

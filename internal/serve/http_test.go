@@ -1,0 +1,261 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestService(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opt.DataDir == "" {
+		opt.DataDir = t.TempDir()
+	}
+	s, err := New(opt)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postSpec(t *testing.T, url, tenant, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/jobs", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	return resp
+}
+
+// TestHTTPEndToEnd walks the whole API surface once: health probes, a
+// submission, the NDJSON stream to completion, the status snapshot, and the
+// /statz counters.
+func TestHTTPEndToEnd(t *testing.T) {
+	s, ts := newTestService(t, Options{Workers: 2})
+	defer closeServer(t, s)
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil || resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %v status %v", path, err, resp)
+		}
+		resp.Body.Close()
+	}
+
+	spec := testSpec(t, 0, "Baseline", "Pr4")
+	resp := postSpec(t, ts.URL, "alice", string(spec.Encode()))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	resp.Body.Close()
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+st.ID {
+		t.Fatalf("Location %q for job %s", loc, st.ID)
+	}
+	if st.Tenant != "alice" || st.Total != 2 {
+		t.Fatalf("submit snapshot: %+v", st)
+	}
+
+	// The stream must deliver one record per point plus a terminal summary.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	points, done := 0, false
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		var rec struct {
+			Done   bool   `json:"done"`
+			Design string `json:"design"`
+			OK     bool   `json:"ok"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if rec.Done {
+			done = true
+			break
+		}
+		if !rec.OK {
+			t.Fatalf("streamed point failed: %s", sc.Text())
+		}
+		points++
+	}
+	if !done || points != 2 {
+		t.Fatalf("stream delivered %d points, done=%v", points, done)
+	}
+
+	got, err := http.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatalf("job status: %v", err)
+	}
+	var final JobStatus
+	if err := json.NewDecoder(got.Body).Decode(&final); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	got.Body.Close()
+	if final.State != StateDone || len(final.Results) != 2 {
+		t.Fatalf("final status: %+v", final)
+	}
+
+	zresp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatalf("statz: %v", err)
+	}
+	var z Statz
+	if err := json.NewDecoder(zresp.Body).Decode(&z); err != nil {
+		t.Fatalf("decode statz: %v", err)
+	}
+	zresp.Body.Close()
+	if z.JobsSubmitted != 1 || z.JobsCompleted != 1 || z.PointsCompleted != 2 {
+		t.Fatalf("statz counters: %+v", z)
+	}
+	if _, ok := z.Tenants["alice"]; !ok {
+		t.Fatalf("statz missing tenant row: %+v", z.Tenants)
+	}
+}
+
+// TestHTTPSSEStream pins the SSE variant: event-typed frames, terminated by
+// an "event: done" frame.
+func TestHTTPSSEStream(t *testing.T) {
+	s, ts := newTestService(t, Options{Workers: 2})
+	defer closeServer(t, s)
+
+	spec := testSpec(t, 3, "Baseline")
+	resp := postSpec(t, ts.URL, "", string(spec.Encode()))
+	var st JobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st.Tenant != DefaultTenant {
+		t.Fatalf("missing X-Tenant should map to %q, got %q", DefaultTenant, st.Tenant)
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+st.ID+"/stream", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("SSE stream: %v", err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE content type %q", ct)
+	}
+	var events []string
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+			if line == "event: done" {
+				break
+			}
+		}
+	}
+	if len(events) < 2 || events[len(events)-1] != "done" || events[0] != "point" {
+		t.Fatalf("SSE events: %v", events)
+	}
+}
+
+// TestHTTPRejections pins the error surface: malformed specs and tenants are
+// 400s, unknown jobs are 404s, overload is a 429 with a Retry-After header,
+// and a draining server turns /readyz and submissions into 503s.
+func TestHTTPRejections(t *testing.T) {
+	s, ts := newTestService(t, Options{Workers: 1, MaxQueuedPoints: 1})
+	gate := make(chan struct{})
+	s.beforePoint = func(p *point) {
+		select {
+		case <-gate:
+		case <-s.runCtx.Done():
+		}
+	}
+
+	for _, tc := range []struct {
+		name, tenant, body string
+		status             int
+	}{
+		{"bad json", "alice", `{"app":`, 400},
+		{"unknown app", "alice", `{"app":"NoSuchApp","designs":["Baseline"]}`, 400},
+		{"unknown field", "alice", `{"app":"T-AlexNet","designs":["Baseline"],"nope":1}`, 400},
+		{"bad tenant", "no spaces allowed", `{"app":"T-AlexNet","designs":["Baseline"]}`, 400},
+	} {
+		resp := postSpec(t, ts.URL, tc.tenant, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		resp.Body.Close()
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/ffffffffffff"); err != nil || resp.StatusCode != 404 {
+		t.Fatalf("unknown job: %v %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+
+	// Fill the 1-point bound, then overload.
+	first := postSpec(t, ts.URL, "alice", string(testSpec(t, 4, "Baseline").Encode()))
+	var st JobStatus
+	json.NewDecoder(first.Body).Decode(&st)
+	first.Body.Close()
+	if first.StatusCode != 201 {
+		t.Fatalf("first submit: %d", first.StatusCode)
+	}
+	over := postSpec(t, ts.URL, "bob", string(testSpec(t, 5, "Pr4").Encode()))
+	if over.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429", over.StatusCode)
+	}
+	ra, err := strconv.Atoi(over.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("Retry-After header %q", over.Header.Get("Retry-After"))
+	}
+	var body struct {
+		Error      string `json:"error"`
+		RetryAfter int    `json:"retry_after_seconds"`
+	}
+	if err := json.NewDecoder(over.Body).Decode(&body); err != nil || body.Error == "" || body.RetryAfter != ra {
+		t.Fatalf("429 body: %+v (err %v)", body, err)
+	}
+	over.Body.Close()
+
+	close(gate)
+	waitJob(t, s, st.ID)
+
+	s.Drain()
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != 503 {
+		t.Fatalf("draining /readyz: %v %v", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	drained := postSpec(t, ts.URL, "alice", string(testSpec(t, 6, "Sh2").Encode()))
+	if drained.StatusCode != 503 {
+		t.Fatalf("draining submit status %d, want 503", drained.StatusCode)
+	}
+	drained.Body.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}

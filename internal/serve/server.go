@@ -1,0 +1,789 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dcl1sim/internal/experiments"
+	"dcl1sim/internal/gpu"
+	"dcl1sim/internal/sim"
+)
+
+// Options configures a Server. The zero value of every field but DataDir is
+// usable: defaults are filled by New.
+type Options struct {
+	// DataDir holds the persistent state: results.jsonl (the content-
+	// addressed result store) and jobs.jsonl (the job log recovery replays).
+	DataDir string
+	// Workers is the number of concurrently executing points (default
+	// GOMAXPROCS).
+	Workers int
+	// MaxQueuedPoints bounds the total pending (admitted, not yet terminal,
+	// not in flight) points across all tenants; submissions that would
+	// exceed it are rejected with 429 + Retry-After. Default 4096.
+	MaxQueuedPoints int
+	// TenantMaxQueued bounds one tenant's pending points (default
+	// MaxQueuedPoints: no per-tenant cap beyond the global one).
+	TenantMaxQueued int
+	// TenantMaxInFlight is the per-tenant concurrency quota (default
+	// Workers: no quota beyond the pool size).
+	TenantMaxInFlight int
+	// BreakerThreshold trips a job's circuit breaker after this many
+	// consecutive point failures: remaining points quarantine instead of
+	// running, so a poisoned job cannot wedge the queue by burning every
+	// retry budget. Default 3; negative disables.
+	BreakerThreshold int
+	// Retry and PointDeadline configure the per-point supervisor exactly as
+	// the CLI sweeps do.
+	Retry         experiments.RetryPolicy
+	PointDeadline time.Duration
+	// StallWindow is the per-simulation deadlock window (0 = default).
+	StallWindow sim.Cycle
+	// Progress, when non-nil, receives the supervisor's per-point lines.
+	Progress io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueuedPoints <= 0 {
+		o.MaxQueuedPoints = 4096
+	}
+	if o.TenantMaxQueued <= 0 {
+		o.TenantMaxQueued = o.MaxQueuedPoints
+	}
+	if o.TenantMaxInFlight <= 0 {
+		o.TenantMaxInFlight = o.Workers
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 3
+	}
+	return o
+}
+
+// AdmissionError is a rejected submission: the queue bounds are exhausted
+// (Status 429) or the server is draining (Status 503). RetryAfter is the
+// server's backoff hint from observed point throughput.
+type AdmissionError struct {
+	Reason     string
+	Status     int
+	RetryAfter time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("serve: submission rejected: %s (retry after %v)", e.Reason, e.RetryAfter)
+}
+
+// tenant is one traffic source's scheduling state. The queue is strictly
+// bounded by admission control — the server never buffers without bound.
+type tenant struct {
+	name      string
+	queue     []*point
+	pending   int // queued + parked-behind-identical-key points
+	inflight  int
+	completed int64
+}
+
+// Server is the simulation service: a bounded multi-tenant job queue with
+// fair round-robin scheduling feeding a worker pool, a persistent content-
+// addressed result store, and crash recovery from fsynced JSONL logs. Create
+// with New, expose with Handler, stop with Close (graceful drain) or Kill
+// (abrupt, for crash drills).
+type Server struct {
+	opt   Options
+	store *Store
+	jlog  *experiments.Log
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tenants map[string]*tenant
+	order   []string // round-robin order, append-on-first-submit
+	rrNext  int
+	jobs    map[string]*job
+	jobSeq  int
+
+	pendingPoints  int // all tenants' pending
+	inflightPoints int
+	running        map[string]bool     // content keys currently executing
+	parked         map[string][]*point // points waiting on an identical in-flight key
+
+	draining bool
+	stopped  bool
+
+	runCtx    context.Context
+	runCancel context.CancelFunc
+	wg        sync.WaitGroup
+	started   time.Time
+
+	// lifetime counters (atomics: read lock-free by /statz and tests)
+	jobsSubmitted     atomic.Int64
+	jobsCompleted     atomic.Int64
+	jobsRecovered     atomic.Int64
+	pointsCompleted   atomic.Int64
+	pointsFailed      atomic.Int64
+	pointsCached      atomic.Int64
+	pointsQuarantined atomic.Int64
+	runNanos          atomic.Int64 // cumulative fresh-simulation wall time
+	runCount          atomic.Int64
+
+	// beforePoint, when set (tests), runs before each fresh point executes —
+	// a hook to hold the worker pool in a known state.
+	beforePoint func(p *point)
+}
+
+// New opens the server's persistent state under opt.DataDir, replays the job
+// log — incomplete jobs are resubmitted under their original IDs, finished
+// ones reconstructed from the result store — and starts the worker pool.
+func New(opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	if opt.DataDir == "" {
+		return nil, fmt.Errorf("serve: Options.DataDir is required (persistent state lives there)")
+	}
+	store, err := OpenStore(filepath.Join(opt.DataDir, "results.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opt:     opt,
+		store:   store,
+		tenants: map[string]*tenant{},
+		jobs:    map[string]*job{},
+		running: map[string]bool{},
+		parked:  map[string][]*point{},
+		started: time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+
+	// Replay the job log: collect submissions in order and the done set.
+	type sub struct {
+		id, tenant string
+		raw        json.RawMessage
+	}
+	var subs []sub
+	done := map[string]bool{}
+	jlog, err := experiments.OpenLog(filepath.Join(opt.DataDir, "jobs.jsonl"), func(line []byte) {
+		var rec jobRecord
+		if json.Unmarshal(line, &rec) != nil || rec.ID == "" {
+			return // torn or damaged line: the affected job replays as incomplete
+		}
+		switch rec.Op {
+		case "submit":
+			subs = append(subs, sub{id: rec.ID, tenant: rec.Tenant, raw: rec.Spec})
+		case "done":
+			done[rec.ID] = true
+		}
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	s.jlog = jlog
+	s.jobSeq = len(subs)
+
+	var finishedNow []*job
+	s.mu.Lock()
+	for _, rec := range subs {
+		spec, perr := ParseSweepSpec(rec.raw)
+		if perr != nil {
+			// A logged spec that no longer validates can only come from
+			// version skew; there is nothing byte-identical to recover.
+			continue
+		}
+		if done[rec.id] {
+			s.reconstructLocked(rec.id, rec.tenant, spec)
+			continue
+		}
+		// Incomplete: resubmit under the original ID, bypassing admission —
+		// the job was admitted before the crash, and the result store turns
+		// its already-finished points into instant cache hits.
+		j := s.admitLocked(rec.tenant, spec, rec.id, true)
+		s.jobsRecovered.Add(1)
+		if j.finished {
+			finishedNow = append(finishedNow, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range finishedNow {
+		s.logDone(j)
+	}
+
+	for i := 0; i < opt.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit admits one sweep for tenantName, returning the job snapshot. A
+// *AdmissionError signals backpressure (429) or drain (503); the caller maps
+// it onto the transport.
+func (s *Server) Submit(tenantName string, spec SweepSpec) (JobStatus, error) {
+	s.mu.Lock()
+	if s.draining || s.stopped {
+		s.mu.Unlock()
+		return JobStatus{}, &AdmissionError{Reason: "server is draining", Status: 503, RetryAfter: 10 * time.Second}
+	}
+	n := len(spec.Designs)
+	if s.pendingPoints+n > s.opt.MaxQueuedPoints {
+		e := &AdmissionError{
+			Reason:     fmt.Sprintf("queue full: %d pending + %d new points exceed the %d bound", s.pendingPoints, n, s.opt.MaxQueuedPoints),
+			Status:     429,
+			RetryAfter: s.retryAfterLocked(n),
+		}
+		s.mu.Unlock()
+		return JobStatus{}, e
+	}
+	if t := s.tenants[tenantName]; t != nil && t.pending+n > s.opt.TenantMaxQueued {
+		e := &AdmissionError{
+			Reason:     fmt.Sprintf("tenant quota: %d pending + %d new points exceed the %d per-tenant bound", t.pending, n, s.opt.TenantMaxQueued),
+			Status:     429,
+			RetryAfter: s.retryAfterLocked(n),
+		}
+		s.mu.Unlock()
+		return JobStatus{}, e
+	}
+	id := jobID(tenantName, s.jobSeq, spec)
+	s.jobSeq++
+	// Log the submission before enqueueing (fsynced, under the admission
+	// lock): a crash on either side of the write leaves either nothing (the
+	// tenant got no 201) or a recoverable incomplete job — never an
+	// accepted-and-forgotten one.
+	if err := s.jlog.Append(jobRecord{Op: "submit", ID: id, Tenant: tenantName, Spec: spec.Encode()}); err != nil {
+		s.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("serve: persist submission: %w", err)
+	}
+	j := s.admitLocked(tenantName, spec, id, false)
+	s.jobsSubmitted.Add(1)
+	st := j.status(false)
+	finished := j.finished
+	s.mu.Unlock()
+	if finished {
+		s.logDone(j)
+	}
+	return st, nil
+}
+
+// retryAfterLocked estimates when n points' worth of queue headroom will
+// exist, from the observed mean fresh-point runtime. Crude by design: the
+// hint only needs the right order of magnitude.
+func (s *Server) retryAfterLocked(n int) time.Duration {
+	avg := 250 * time.Millisecond
+	if c := s.runCount.Load(); c > 0 {
+		avg = time.Duration(s.runNanos.Load() / c)
+	}
+	backlog := s.pendingPoints + s.inflightPoints + n - s.opt.MaxQueuedPoints
+	if backlog < 1 {
+		backlog = 1
+	}
+	d := time.Duration(backlog) * avg / time.Duration(s.opt.Workers)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 5*time.Minute {
+		d = 5 * time.Minute
+	}
+	return d
+}
+
+// admitLocked builds the job, completes invalid and already-cached points
+// immediately, and enqueues the rest on the tenant's bounded queue. Caller
+// holds the mutex and, if the returned job is already finished, appends its
+// done record off the lock. recovered marks a crash-recovery resubmission.
+func (s *Server) admitLocked(tenantName string, spec SweepSpec, id string, recovered bool) *job {
+	t := s.tenants[tenantName]
+	if t == nil {
+		t = &tenant{name: tenantName}
+		s.tenants[tenantName] = t
+		s.order = append(s.order, tenantName)
+	}
+	h := gpu.HealthOptions{StallWindow: s.opt.StallWindow, Ctx: s.runCtx, Chaos: spec.ChaosSpec()}
+	j := &job{
+		id:     id,
+		tenant: tenantName,
+		spec:   spec,
+		total:  len(spec.Designs),
+		keys:   make([]string, len(spec.Designs)),
+		sup: &experiments.Supervisor{
+			Health:        h,
+			Retry:         s.opt.Retry,
+			PointDeadline: s.opt.PointDeadline,
+			Journal:       s.store.Journal(),
+			Progress:      s.opt.Progress,
+		},
+		recovered: recovered,
+		notify:    make(chan struct{}),
+	}
+	s.jobs[id] = j
+
+	jobs, errs := spec.Jobs()
+	for i := range jobs {
+		if errs[i] != nil {
+			// Invalid point (e.g. node count incompatible with the machine):
+			// terminal immediately, exactly like a failed simulation.
+			j.results = append(j.results, PointResult{
+				Index: i, Design: spec.Designs[i], OK: false, Err: errs[i].Error(),
+			})
+			j.terminal++
+			j.failed++
+			s.pointsFailed.Add(1)
+			continue
+		}
+		key := s.store.Key(jobs[i], h.Chaos)
+		j.keys[i] = key
+		if r, ok := s.store.Peek(key); ok {
+			// Content-addressed hit at admission: the point never occupies a
+			// queue slot. Byte-identical to a fresh run by the journal's
+			// round-trip guarantee.
+			res := r
+			s.store.countHit()
+			j.results = append(j.results, PointResult{
+				Index: i, Design: spec.Designs[i], OK: true, Cached: true, Result: &res,
+			})
+			j.terminal++
+			j.cached++
+			t.completed++
+			s.pointsCached.Add(1)
+			s.pointsCompleted.Add(1)
+			continue
+		}
+		t.queue = append(t.queue, &point{job: j, idx: i, name: spec.Designs[i], key: key, gj: jobs[i]})
+		t.pending++
+		s.pendingPoints++
+	}
+	if j.terminal == j.total {
+		s.markFinishedLocked(j)
+	}
+	s.cond.Broadcast()
+	return j
+}
+
+// reconstructLocked rebuilds a job that finished before a restart from the
+// result store, so status and stream reads keep working across process
+// lifetimes. Caller holds the mutex.
+func (s *Server) reconstructLocked(id, tenantName string, spec SweepSpec) {
+	if s.tenants[tenantName] == nil {
+		s.tenants[tenantName] = &tenant{name: tenantName}
+		s.order = append(s.order, tenantName)
+	}
+	j := &job{
+		id:        id,
+		tenant:    tenantName,
+		spec:      spec,
+		total:     len(spec.Designs),
+		keys:      make([]string, len(spec.Designs)),
+		finished:  true,
+		recovered: true,
+		notify:    make(chan struct{}),
+	}
+	jobs, errs := spec.Jobs()
+	chaosSpec := spec.ChaosSpec()
+	for i := range jobs {
+		pr := PointResult{Index: i, Design: spec.Designs[i]}
+		switch {
+		case errs[i] != nil:
+			pr.Err = errs[i].Error()
+			j.failed++
+		default:
+			key := s.store.Key(jobs[i], chaosSpec)
+			j.keys[i] = key
+			if r, ok := s.store.Peek(key); ok {
+				res := r
+				pr.OK, pr.Cached, pr.Result = true, true, &res
+				j.cached++
+			} else if msg, ok := s.store.FailedEntry(key); ok {
+				pr.Err = msg
+				j.failed++
+			} else {
+				pr.Err = "result unavailable after restart"
+				j.failed++
+			}
+		}
+		j.results = append(j.results, pr)
+		j.terminal++
+	}
+	s.jobs[id] = j
+}
+
+// markFinishedLocked marks a job terminal (idempotent) and wakes its
+// streamers. Caller holds the mutex and must call logDone off the lock when
+// this returns true.
+func (s *Server) markFinishedLocked(j *job) bool {
+	if j.finished {
+		return false
+	}
+	j.finished = true
+	s.jobsCompleted.Add(1)
+	close(j.notify)
+	j.notify = make(chan struct{})
+	return true
+}
+
+// logDone appends a job's terminal record (fsynced). Called off the mutex.
+func (s *Server) logDone(j *job) {
+	s.mu.Lock()
+	failed := j.failed + j.quarantined
+	s.mu.Unlock()
+	s.jlog.Append(jobRecord{Op: "done", ID: j.id, Failed: failed})
+}
+
+// worker is one executor: it picks points fairly across tenants, runs them
+// under the job's supervisor, and publishes results. Workers block on the
+// condition variable when nothing is dispatchable (bounded queues, no
+// spinning) and exit when the server stops.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		if s.stopped {
+			break
+		}
+		p := s.pickLocked()
+		if p == nil {
+			s.cond.Wait()
+			continue
+		}
+		if p.job.tripped {
+			// Circuit breaker open: quarantine without running so one
+			// poisoned job cannot wedge the pool.
+			s.mu.Unlock()
+			s.publish(p, PointResult{
+				Index: p.idx, Design: p.name, OK: false, Quarantined: true,
+				Err: "quarantined: job circuit breaker open",
+			}, false)
+			s.mu.Lock()
+			continue
+		}
+		if s.running[p.key] {
+			// An identical point (same content address) is already
+			// executing — for this or any other tenant. Park behind it; on
+			// completion the point requeues and resolves from the store.
+			s.parked[p.key] = append(s.parked[p.key], p)
+			continue
+		}
+		s.running[p.key] = true
+		s.inflightPoints++
+		s.tenants[p.job.tenant].inflight++
+		p.job.inflight++
+		s.mu.Unlock()
+
+		s.runPoint(p)
+
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// pickLocked pops the next dispatchable point: round-robin across tenants,
+// skipping tenants at their concurrency quota. Returns nil when nothing is
+// dispatchable (empty queues, quotas, or drain).
+func (s *Server) pickLocked() *point {
+	if s.draining {
+		return nil
+	}
+	n := len(s.order)
+	for i := 0; i < n; i++ {
+		t := s.tenants[s.order[(s.rrNext+i)%n]]
+		if len(t.queue) == 0 || t.inflight >= s.opt.TenantMaxInFlight {
+			continue
+		}
+		p := t.queue[0]
+		t.queue = t.queue[1:]
+		s.rrNext = (s.rrNext + i + 1) % n
+		return p
+	}
+	return nil
+}
+
+// runPoint executes one fresh point (cache probe, then supervised
+// simulation) and publishes the outcome. Runs without the mutex.
+func (s *Server) runPoint(p *point) {
+	if s.beforePoint != nil {
+		s.beforePoint(p)
+	}
+	if r, ok := s.store.Lookup(p.key); ok {
+		res := r
+		s.publish(p, PointResult{
+			Index: p.idx, Design: p.name, OK: true, Cached: true, Result: &res,
+		}, true)
+		return
+	}
+	t0 := time.Now()
+	res, err := p.job.sup.RunOne(p.gj)
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		// Shutdown, not failure: the point is abandoned un-terminal. Its
+		// submission record has no done marker, so restart recovery re-runs
+		// it — and the result store replays whatever did finish.
+		s.mu.Lock()
+		s.abandonLocked(p)
+		s.mu.Unlock()
+		return
+	}
+	s.runNanos.Add(time.Since(t0).Nanoseconds())
+	s.runCount.Add(1)
+	pr := PointResult{Index: p.idx, Design: p.name, OK: err == nil}
+	if err != nil {
+		pr.Err = err.Error()
+	} else {
+		pr.Result = &res
+	}
+	s.publish(p, pr, true)
+}
+
+// publish records one terminal point result and, when it finished the job,
+// appends the job's done record off the lock.
+func (s *Server) publish(p *point, pr PointResult, wasRunning bool) {
+	s.mu.Lock()
+	finished := s.completeLocked(p, pr, wasRunning)
+	s.mu.Unlock()
+	if finished {
+		s.logDone(p.job)
+	}
+}
+
+// completeLocked publishes one terminal point result, updates the breaker,
+// releases the in-flight slot when the point was running, and requeues any
+// points parked behind its key. Returns whether this point finished the job.
+// Caller holds the mutex.
+func (s *Server) completeLocked(p *point, pr PointResult, wasRunning bool) bool {
+	j := p.job
+	t := s.tenants[j.tenant]
+	j.results = append(j.results, pr)
+	j.terminal++
+	t.pending--
+	s.pendingPoints--
+	switch {
+	case pr.OK:
+		j.consecFails = 0
+		t.completed++
+		s.pointsCompleted.Add(1)
+		if pr.Cached {
+			j.cached++
+			s.pointsCached.Add(1)
+		}
+	case pr.Quarantined:
+		j.quarantined++
+		s.pointsQuarantined.Add(1)
+	default:
+		j.failed++
+		s.pointsFailed.Add(1)
+		j.consecFails++
+		if s.opt.BreakerThreshold > 0 && j.consecFails >= s.opt.BreakerThreshold {
+			j.tripped = true
+		}
+	}
+	if wasRunning {
+		s.releaseLocked(p)
+	}
+	// Wake streamers on this job and workers waiting for slots or requeues.
+	close(j.notify)
+	j.notify = make(chan struct{})
+	finished := false
+	if j.terminal == j.total {
+		finished = s.markFinishedLocked(j)
+	}
+	s.cond.Broadcast()
+	return finished
+}
+
+// releaseLocked frees a running point's slot and requeues points parked
+// behind its key at the head of their tenants' queues (they resolve from the
+// store, or run fresh if the attempt failed). Caller holds the mutex.
+func (s *Server) releaseLocked(p *point) {
+	t := s.tenants[p.job.tenant]
+	s.inflightPoints--
+	t.inflight--
+	p.job.inflight--
+	delete(s.running, p.key)
+	if waiters := s.parked[p.key]; len(waiters) > 0 {
+		delete(s.parked, p.key)
+		for _, w := range waiters {
+			wt := s.tenants[w.job.tenant]
+			wt.queue = append([]*point{w}, wt.queue...)
+		}
+	}
+}
+
+// abandonLocked returns a canceled in-flight point to the head of its
+// tenant's queue without recording a result. Caller holds the mutex.
+func (s *Server) abandonLocked(p *point) {
+	s.releaseLocked(p)
+	t := s.tenants[p.job.tenant]
+	t.queue = append([]*point{p}, t.queue...)
+	s.cond.Broadcast()
+}
+
+// Drain stops admission and dispatch: POSTs are rejected with 503, queued
+// points stay queued (they recover on restart), and in-flight points run to
+// completion. Idempotent.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Close drains and shuts down gracefully: in-flight points finish and are
+// journaled, then the worker pool exits and the logs close. If ctx expires
+// first, remaining in-flight points are canceled — they abandon un-journaled
+// and re-run byte-identically after a restart.
+func (s *Server) Close(ctx context.Context) error {
+	s.Drain()
+	for ctx.Err() == nil {
+		s.mu.Lock()
+		idle := s.inflightPoints == 0
+		s.mu.Unlock()
+		if idle {
+			break
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	return s.stop()
+}
+
+// Kill is the crash drill: cancel everything immediately, no drain. In-
+// flight points abandon un-journaled; the fsynced logs stay consistent, so a
+// subsequent New on the same DataDir recovers every incomplete job.
+func (s *Server) Kill() {
+	s.Drain()
+	s.stop()
+}
+
+func (s *Server) stop() error {
+	s.runCancel()
+	s.mu.Lock()
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+	err := s.store.Close()
+	if cerr := s.jlog.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Job returns the status snapshot of one job.
+func (s *Server) Job(id string, withResults bool) (JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return j.status(withResults), true
+}
+
+// follow returns the job's results from index `from` on, plus whether the
+// job is finished and the channel that signals the next change. Streamers
+// loop on it.
+func (s *Server) follow(id string, from int) (rows []PointResult, finished bool, ch <-chan struct{}, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, okj := s.jobs[id]
+	if !okj {
+		return nil, false, nil, false
+	}
+	if from < len(j.results) {
+		rows = append(rows, j.results[from:]...)
+	}
+	return rows, j.finished, j.notify, true
+}
+
+// TenantStatz is one tenant's /statz row.
+type TenantStatz struct {
+	Pending   int   `json:"pending"`
+	InFlight  int   `json:"in_flight"`
+	Completed int64 `json:"completed"`
+}
+
+// Statz is the operability snapshot served by /statz.
+type Statz struct {
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	Draining       bool    `json:"draining"`
+	Workers        int     `json:"workers"`
+	PendingPoints  int     `json:"pending_points"`
+	InFlightPoints int     `json:"in_flight_points"`
+	MaxQueued      int     `json:"max_queued_points"`
+
+	JobsSubmitted int64 `json:"jobs_submitted"`
+	JobsCompleted int64 `json:"jobs_completed"`
+	JobsRecovered int64 `json:"jobs_recovered"`
+	JobsActive    int   `json:"jobs_active"`
+
+	PointsCompleted   int64   `json:"points_completed"`
+	PointsFailed      int64   `json:"points_failed"`
+	PointsCached      int64   `json:"points_cached"`
+	PointsQuarantined int64   `json:"points_quarantined"`
+	PointsPerSecond   float64 `json:"points_per_second"`
+
+	CacheEntries int     `json:"cache_entries"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	Tenants map[string]TenantStatz `json:"tenants"`
+}
+
+// Stats builds the /statz snapshot.
+func (s *Server) Stats() Statz {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Statz{
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		Draining:       s.draining,
+		Workers:        s.opt.Workers,
+		PendingPoints:  s.pendingPoints,
+		InFlightPoints: s.inflightPoints,
+		MaxQueued:      s.opt.MaxQueuedPoints,
+
+		JobsSubmitted: s.jobsSubmitted.Load(),
+		JobsCompleted: s.jobsCompleted.Load(),
+		JobsRecovered: s.jobsRecovered.Load(),
+
+		PointsCompleted:   s.pointsCompleted.Load(),
+		PointsFailed:      s.pointsFailed.Load(),
+		PointsCached:      s.pointsCached.Load(),
+		PointsQuarantined: s.pointsQuarantined.Load(),
+
+		CacheEntries: s.store.Entries(),
+		CacheHits:    s.store.Hits(),
+		CacheMisses:  s.store.Misses(),
+
+		Tenants: map[string]TenantStatz{},
+	}
+	for _, j := range s.jobs {
+		if !j.finished {
+			st.JobsActive++
+		}
+	}
+	if st.UptimeSeconds > 0 {
+		st.PointsPerSecond = float64(st.PointsCompleted) / st.UptimeSeconds
+	}
+	if probes := st.CacheHits + st.CacheMisses; probes > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(probes)
+	}
+	for name, t := range s.tenants {
+		st.Tenants[name] = TenantStatz{Pending: t.pending, InFlight: t.inflight, Completed: t.completed}
+	}
+	return st
+}
+
+// Ready reports whether the server accepts submissions.
+func (s *Server) Ready() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && !s.stopped
+}

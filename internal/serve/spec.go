@@ -1,0 +1,228 @@
+// Package serve hosts deterministic sweep simulations as a long-running
+// multi-tenant service: tenants POST a sweep spec (the same point grid the
+// CLI tools walk), get a job ID, and stream per-point results as they land.
+//
+// The package's contract is that the service layer never bends the model:
+// for a fixed spec, every result it serves — fresh, deduped from another
+// tenant's identical point, cached across a restart, or completed on a
+// crash-recovery pass — is byte-identical to a cold dcl1.Run of the same
+// point. Robustness is layered on top of that invariant, never at its
+// expense: bounded queues with admission control (429 + Retry-After), fair
+// round-robin scheduling across tenants, per-tenant concurrency quotas, a
+// persistent content-addressed result store, crash recovery from fsynced
+// JSONL logs, per-job circuit breakers, and a graceful drain. See DESIGN.md
+// §13.
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"dcl1sim"
+	"dcl1sim/internal/chaos"
+	"dcl1sim/internal/gpu"
+	"dcl1sim/internal/sim"
+)
+
+// Spec bounds, enforced by ParseSweepSpec regardless of server options: a
+// single spec can never describe unbounded work or memory.
+const (
+	// MaxSpecDesigns caps the points of one sweep spec.
+	MaxSpecDesigns = 1024
+	// MaxSpecCycles caps the warmup and measurement windows, in core cycles.
+	MaxSpecCycles = 100_000_000
+	// MaxSpecMachineDim caps the explicit machine dimensions (cores, L2
+	// slices, memory channels).
+	MaxSpecMachineDim = 4096
+	// maxSpecBytes caps the encoded spec itself (a design list at the point
+	// cap fits comfortably).
+	maxSpecBytes = 1 << 20
+)
+
+// SweepSpec is the wire format of one sweep submission: one application run
+// on a list of designs under one machine window. It is the shared encoding
+// between dcl1explore (which can emit its point grid as a spec) and the
+// dcl1serve daemon (which accepts it over HTTP). The zero windows select the
+// simulator's defaults.
+type SweepSpec struct {
+	// App names the workload (dcl1.AppByName).
+	App string `json:"app"`
+	// Designs lists the sweep points as the paper's design names
+	// (dcl1.ParseDesign); they are canonicalized on parse.
+	Designs []string `json:"designs"`
+	// Cycles and Warmup are the measurement and warmup windows in core
+	// cycles (0 = the simulator's defaults).
+	Cycles int64 `json:"cycles,omitempty"`
+	Warmup int64 `json:"warmup,omitempty"`
+	// Cores, L2Slices, and Channels optionally shrink (or grow) the machine
+	// for quick-fidelity sweeps; zero selects the paper's 80-core GPU. They
+	// are part of the point's content address, so differently sized machines
+	// never share cache entries.
+	Cores    int `json:"cores,omitempty"`
+	L2Slices int `json:"l2_slices,omitempty"`
+	Channels int `json:"channels,omitempty"`
+	// Seed is the workload seed (0 = default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Chaos selects a fault-injection preset: "", "light", or "heavy"
+	// ("off" normalizes to ""). ChaosSeed selects the fault schedule and is
+	// zeroed when chaos is off.
+	Chaos     string `json:"chaos,omitempty"`
+	ChaosSeed uint64 `json:"chaos_seed,omitempty"`
+}
+
+// ParseSweepSpec decodes and validates one sweep spec. It is the public
+// admission point for untrusted input, so it rejects rather than panics:
+// unknown fields, trailing garbage, unknown apps or designs, out-of-range
+// windows, and oversized specs all come back as errors. The returned spec is
+// normalized — design names canonical, chaos preset lower-cased with "off"
+// folded to "" — so Encode∘ParseSweepSpec is a fixpoint (FuzzParseSweepSpec
+// pins this).
+func ParseSweepSpec(data []byte) (SweepSpec, error) {
+	var s SweepSpec
+	if len(data) > maxSpecBytes {
+		return s, fmt.Errorf("serve: spec exceeds %d bytes", maxSpecBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return SweepSpec{}, fmt.Errorf("serve: bad spec: %w", err)
+	}
+	if dec.More() {
+		return SweepSpec{}, fmt.Errorf("serve: trailing data after spec")
+	}
+	if err := s.normalize(); err != nil {
+		return SweepSpec{}, err
+	}
+	return s, nil
+}
+
+// normalize validates the spec in place and rewrites it to canonical form.
+func (s *SweepSpec) normalize() error {
+	if s.App == "" {
+		return fmt.Errorf("serve: spec missing app")
+	}
+	if _, ok := dcl1.AppByName(s.App); !ok {
+		return fmt.Errorf("serve: unknown app %q", s.App)
+	}
+	if len(s.Designs) == 0 {
+		return fmt.Errorf("serve: spec has no designs")
+	}
+	if len(s.Designs) > MaxSpecDesigns {
+		return fmt.Errorf("serve: %d designs exceed the %d-point spec cap", len(s.Designs), MaxSpecDesigns)
+	}
+	for i, name := range s.Designs {
+		d, err := dcl1.ParseDesign(name)
+		if err != nil {
+			return fmt.Errorf("serve: design %d: %w", i, err)
+		}
+		s.Designs[i] = d.Name()
+	}
+	if s.Cycles < 0 || s.Cycles > MaxSpecCycles {
+		return fmt.Errorf("serve: cycles %d outside [0, %d]", s.Cycles, MaxSpecCycles)
+	}
+	if s.Warmup < 0 || s.Warmup > MaxSpecCycles {
+		return fmt.Errorf("serve: warmup %d outside [0, %d]", s.Warmup, MaxSpecCycles)
+	}
+	for _, dim := range []struct {
+		name string
+		v    int
+	}{{"cores", s.Cores}, {"l2_slices", s.L2Slices}, {"channels", s.Channels}} {
+		if dim.v < 0 || dim.v > MaxSpecMachineDim {
+			return fmt.Errorf("serve: %s %d outside [0, %d]", dim.name, dim.v, MaxSpecMachineDim)
+		}
+	}
+	if s.Chaos == "off" {
+		s.Chaos = ""
+	}
+	if _, err := dcl1.ChaosPreset(s.Chaos, s.ChaosSeed); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if s.Chaos == "" {
+		s.ChaosSeed = 0
+	}
+	return nil
+}
+
+// Encode renders the spec as canonical compact JSON. Parsing the result
+// yields an equal spec (the Write∘Read fixpoint FuzzParseSweepSpec checks),
+// which also makes encoded specs usable as identity inputs: equal sweeps
+// encode to equal bytes.
+func (s SweepSpec) Encode() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err) // plain value type: cannot happen
+	}
+	return b
+}
+
+// Config returns the machine configuration the spec selects.
+func (s SweepSpec) Config() gpu.Config {
+	return gpu.Config{
+		Cores:         s.Cores,
+		L2Slices:      s.L2Slices,
+		Channels:      s.Channels,
+		MeasureCycles: sim.Cycle(s.Cycles),
+		WarmupCycles:  sim.Cycle(s.Warmup),
+		Seed:          s.Seed,
+	}
+}
+
+// ChaosSpec returns the armed fault-injection spec, or nil when chaos is off.
+// The spec must have been validated (normalize rejects unknown presets).
+func (s SweepSpec) ChaosSpec() *chaos.Spec {
+	spec, err := dcl1.ChaosPreset(s.Chaos, s.ChaosSeed)
+	if err != nil {
+		return nil
+	}
+	return spec
+}
+
+// Jobs expands the spec into one gpu.Job per design, in spec order. Designs
+// that fail machine validation (e.g. a node count that does not divide the
+// core count) are reported per-index in errs rather than failing the batch:
+// the service degrades a bad point into its error slot exactly like a failed
+// simulation.
+func (s SweepSpec) Jobs() (jobs []gpu.Job, errs []error) {
+	app, ok := dcl1.AppByName(s.App)
+	if !ok {
+		panic(fmt.Sprintf("serve: Jobs on unvalidated spec: unknown app %q", s.App))
+	}
+	cfg := s.Config()
+	jobs = make([]gpu.Job, len(s.Designs))
+	errs = make([]error, len(s.Designs))
+	for i, name := range s.Designs {
+		d, err := dcl1.ParseDesign(name)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		if err := d.Validate(cfg); err != nil {
+			errs[i] = err
+			continue
+		}
+		jobs[i] = gpu.Job{Cfg: cfg, D: d, App: app}
+	}
+	return jobs, errs
+}
+
+// ExploreSpec returns the canonical dcl1explore point grid as a sweep spec:
+// the baseline, the aggregation axis (Pr80..Pr10), and the sharing-
+// granularity axis (Sh40 clustered at Z ∈ {1,5,10,20}), with 2x-NoC#1 boost
+// variants when boost is set. dcl1explore builds its jobs from this spec and
+// can emit it with -spec-out, so a sweep POSTed to dcl1serve is guaranteed
+// to name the same points the CLI walks.
+func ExploreSpec(app string, boost bool, cycles, warmup int64) SweepSpec {
+	designs := []string{"Baseline", "Pr80", "Pr40", "Pr20", "Pr10"}
+	for _, z := range []int{1, 5, 10, 20} {
+		name := "Sh40"
+		if z > 1 {
+			name = fmt.Sprintf("Sh40+C%d", z)
+		}
+		designs = append(designs, name)
+		if boost {
+			designs = append(designs, name+"+Boost")
+		}
+	}
+	return SweepSpec{App: app, Designs: designs, Cycles: cycles, Warmup: warmup}
+}

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSweepSpecValid(t *testing.T) {
+	in := []byte(`{"app":"T-AlexNet","designs":["Baseline","Pr40","Sh40+C10+Boost"],"cycles":16000,"warmup":8000}`)
+	s, err := ParseSweepSpec(in)
+	if err != nil {
+		t.Fatalf("ParseSweepSpec: %v", err)
+	}
+	if s.App != "T-AlexNet" || len(s.Designs) != 3 {
+		t.Fatalf("spec = %+v", s)
+	}
+	want := []string{"Baseline", "Pr40", "Sh40+C10+Boost"}
+	if !reflect.DeepEqual(s.Designs, want) {
+		t.Fatalf("designs = %v, want %v", s.Designs, want)
+	}
+}
+
+func TestParseSweepSpecNormalizes(t *testing.T) {
+	in := []byte(`{"app":"T-AlexNet","designs":["Baseline"],"chaos":"off","chaos_seed":9}`)
+	s, err := ParseSweepSpec(in)
+	if err != nil {
+		t.Fatalf("ParseSweepSpec: %v", err)
+	}
+	if s.Chaos != "" {
+		t.Fatalf("chaos %q, want folded to empty", s.Chaos)
+	}
+	if s.ChaosSeed != 0 {
+		t.Fatalf("chaos seed %d survived chaos=off; keys would diverge", s.ChaosSeed)
+	}
+}
+
+func TestParseSweepSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		frag string // required substring of the error
+	}{
+		{"empty", ``, "bad spec"},
+		{"not json", `not json at all`, "bad spec"},
+		{"array", `[1,2,3]`, "bad spec"},
+		{"unknown field", `{"app":"T-AlexNet","designs":["Baseline"],"nope":1}`, "bad spec"},
+		{"trailing data", `{"app":"T-AlexNet","designs":["Baseline"]} {"x":1}`, "trailing data"},
+		{"missing app", `{"designs":["Baseline"]}`, "missing app"},
+		{"unknown app", `{"app":"NoSuchApp","designs":["Baseline"]}`, "unknown app"},
+		{"no designs", `{"app":"T-AlexNet","designs":[]}`, "no designs"},
+		{"bad design", `{"app":"T-AlexNet","designs":["Frobnicate9000"]}`, "unknown design"},
+		{"negative cycles", `{"app":"T-AlexNet","designs":["Baseline"],"cycles":-1}`, "cycles"},
+		{"huge cycles", `{"app":"T-AlexNet","designs":["Baseline"],"cycles":200000000}`, "cycles"},
+		{"negative warmup", `{"app":"T-AlexNet","designs":["Baseline"],"warmup":-5}`, "warmup"},
+		{"negative cores", `{"app":"T-AlexNet","designs":["Baseline"],"cores":-8}`, "cores"},
+		{"huge cores", `{"app":"T-AlexNet","designs":["Baseline"],"cores":999999}`, "cores"},
+		{"bad chaos", `{"app":"T-AlexNet","designs":["Baseline"],"chaos":"catastrophic"}`, "chaos"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSweepSpec([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("ParseSweepSpec(%q) accepted", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestParseSweepSpecTooManyDesigns(t *testing.T) {
+	var b bytes.Buffer
+	b.WriteString(`{"app":"T-AlexNet","designs":[`)
+	for i := 0; i <= MaxSpecDesigns; i++ {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`"Baseline"`)
+	}
+	b.WriteString(`]}`)
+	if _, err := ParseSweepSpec(b.Bytes()); err == nil {
+		t.Fatalf("spec with %d designs accepted", MaxSpecDesigns+1)
+	}
+}
+
+// TestEncodeFixpoint pins the canonical-form contract: parsing Encode's
+// output yields an equal spec and re-encodes to equal bytes, so encoded specs
+// double as identity inputs (the job log relies on this).
+func TestEncodeFixpoint(t *testing.T) {
+	specs := []SweepSpec{
+		{App: "T-AlexNet", Designs: []string{"Baseline", "Pr40"}},
+		{App: "T-AlexNet", Designs: []string{"Sh40+C10+Boost"}, Cycles: 16000, Warmup: 8000, Seed: 7},
+		{App: "T-AlexNet", Designs: []string{"Baseline"}, Chaos: "light", ChaosSeed: 3},
+		{App: "T-AlexNet", Designs: []string{"Pr4"}, Cores: 8, L2Slices: 4, Channels: 2},
+	}
+	for _, s := range specs {
+		enc := s.Encode()
+		got, err := ParseSweepSpec(enc)
+		if err != nil {
+			t.Fatalf("re-parse %s: %v", enc, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Fatalf("fixpoint broken:\n  in  %+v\n  out %+v", s, got)
+		}
+		if !bytes.Equal(got.Encode(), enc) {
+			t.Fatalf("re-encode of %s differs: %s", enc, got.Encode())
+		}
+	}
+}
+
+// TestExploreSpec pins that the shared grid encoding names valid designs and
+// expands to runnable jobs on the default machine — the bridge dcl1explore
+// -spec-out and dcl1serve meet on.
+func TestExploreSpec(t *testing.T) {
+	spec := ExploreSpec("T-AlexNet", true, 16000, 8000)
+	if spec.Designs[0] != "Baseline" {
+		t.Fatalf("grid must lead with the baseline, got %v", spec.Designs)
+	}
+	if _, err := ParseSweepSpec(spec.Encode()); err != nil {
+		t.Fatalf("explore grid does not parse: %v", err)
+	}
+	jobs, errs := spec.Jobs()
+	if len(jobs) != len(spec.Designs) {
+		t.Fatalf("%d jobs for %d designs", len(jobs), len(spec.Designs))
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("grid design %s invalid on the default machine: %v", spec.Designs[i], err)
+		}
+	}
+	unboosted := ExploreSpec("T-AlexNet", false, 16000, 8000)
+	if len(unboosted.Designs) >= len(spec.Designs) {
+		t.Fatalf("boost=false should drop the +Boost variants (%d vs %d designs)",
+			len(unboosted.Designs), len(spec.Designs))
+	}
+}
+
+// TestSpecJobsPerIndexErrors pins graceful degradation: a design that fails
+// machine validation yields a per-index error, not a batch failure.
+func TestSpecJobsPerIndexErrors(t *testing.T) {
+	s, err := ParseSweepSpec([]byte(`{"app":"T-AlexNet","designs":["Baseline","Pr3","Pr4"],"cores":8,"l2_slices":4,"channels":2}`))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	jobs, errs := s.Jobs()
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("valid designs errored: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatalf("Pr3 on 8 cores must fail validation (3 does not divide 8)")
+	}
+	if jobs[0].Cfg.Cores != 8 {
+		t.Fatalf("spec cores not threaded into the job config: %+v", jobs[0].Cfg)
+	}
+}

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"dcl1sim/internal/chaos"
+	"dcl1sim/internal/experiments"
+	"dcl1sim/internal/gpu"
+)
+
+// Store is the persistent content-addressed result cache: results keyed by
+// the canonical point identity (experiments.PointKey — the run memo hash
+// plus the chaos spec). The storage engine is the experiments resume journal
+// (fsynced JSONL with torn-tail repair), so identical points dedupe across
+// all tenants and across process restarts, and a kill can never lose a
+// result that was reported stored. Hit/miss counters feed /statz.
+type Store struct {
+	j            *experiments.Journal
+	hits, misses atomic.Int64
+}
+
+// OpenStore opens (or creates) the store at path, reloading every result a
+// previous process lifetime recorded.
+func OpenStore(path string) (*Store, error) {
+	j, err := experiments.OpenJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{j: j}, nil
+}
+
+// Key returns the content address of one point.
+func (s *Store) Key(j gpu.Job, spec *chaos.Spec) string {
+	return experiments.PointKey(j, spec)
+}
+
+// Peek returns the stored result for key without touching the hit/miss
+// counters (admission fast-path placement and restart reconstruction are not
+// cache traffic).
+func (s *Store) Peek(key string) (gpu.Results, bool) { return s.j.Done(key) }
+
+// countHit records a cache hit discovered outside Lookup (the admission
+// fast path completes hits without a second probe).
+func (s *Store) countHit() { s.hits.Add(1) }
+
+// Lookup returns the stored result for key, counting the probe as a cache
+// hit or miss.
+func (s *Store) Lookup(key string) (gpu.Results, bool) {
+	r, ok := s.j.Done(key)
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return r, ok
+}
+
+// FailedEntry returns the recorded error text of key's most recent failed
+// attempt (with no success since), for reconstructing finished jobs after a
+// restart.
+func (s *Store) FailedEntry(key string) (string, bool) { return s.j.Failed(key) }
+
+// Journal exposes the underlying journal so the sweep supervisor records
+// (and skips) through the same keyed store.
+func (s *Store) Journal() *experiments.Journal { return s.j }
+
+// Entries returns the number of distinct successful results stored.
+func (s *Store) Entries() int { return s.j.Completed() }
+
+// Hits and Misses return the lifetime lookup counters.
+func (s *Store) Hits() int64   { return s.hits.Load() }
+func (s *Store) Misses() int64 { return s.misses.Load() }
+
+// Close releases the underlying journal file.
+func (s *Store) Close() error { return s.j.Close() }
