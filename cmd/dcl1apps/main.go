@@ -15,13 +15,19 @@ import (
 	"os"
 
 	"dcl1sim"
+	"dcl1sim/internal/cliflags"
 )
 
 func main() {
 	var (
 		appName = flag.String("app", "", "show one application in detail")
 		measure = flag.Bool("measure", false, "simulate the baseline fingerprint (slow)")
+
+		health    cliflags.Health
+		telemetry cliflags.Telemetry
 	)
+	health.Register(flag.CommandLine)
+	telemetry.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *appName == "" {
@@ -54,7 +60,17 @@ func main() {
 		a.PaperReplRatio*100, a.PaperMissRate*100)
 
 	if *measure {
-		r, err := dcl1.Run(dcl1.Config{}, dcl1.Design{Kind: dcl1.Baseline}, a)
+		var h dcl1.HealthOptions
+		health.Apply(&h)
+		closeSink, err := telemetry.Apply(&h)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r, err := dcl1.Run(dcl1.Config{}, dcl1.Design{Kind: dcl1.Baseline}, a, dcl1.WithHealth(h))
+		if serr := closeSink(); serr != nil {
+			fmt.Fprintf(os.Stderr, "metrics sink: %v\n", serr)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			dcl1.WriteHealthDump(os.Stderr, err)

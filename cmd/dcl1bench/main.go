@@ -9,6 +9,7 @@
 //	dcl1bench -quick -run fig14     # small machine, smoke-test fidelity
 //	dcl1bench -run all -resume sweep.jsonl   # journal points; re-run resumes
 //	dcl1bench -run fig14 -chaos light -chaos-seed 7   # under fault injection
+//	dcl1bench -run fig14 -metrics-out run.ndjson      # live metric batches
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 	"syscall"
 	"time"
 
-	"dcl1sim"
+	"dcl1sim/internal/cliflags"
 	"dcl1sim/internal/experiments"
 )
 
@@ -37,28 +38,33 @@ func main() {
 		format  = flag.String("format", "text", "output format: text or md")
 		plot    = flag.Bool("plot", false, "also render ASCII S-curves for single-metric experiments")
 
-		deadline    = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
-		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
-		workers     = flag.Int("workers", 1, "run each experiment's fresh simulations across this many goroutines (results are identical for any value)")
-		shards      = flag.Int("shards", 1, "tick-execution shards inside each simulation; capped at GOMAXPROCS/workers in batches (results are identical for any value)")
-
-		resume        = flag.String("resume", "", "journal completed simulations to this JSONL file and skip points already journaled there")
-		retries       = flag.Int("retries", 0, "retry a simulation that overran its deadline up to this many times (capped exponential backoff)")
-		pointDeadline = flag.Duration("point-deadline", 0, "wall-clock bound per sweep point, folded into -deadline (tighter wins; 0 = none)")
-		chaosPreset   = flag.String("chaos", "", "fault-injection preset: off, light, or heavy")
-		chaosSeed     = flag.Uint64("chaos-seed", 1, "fault-injection seed (with -chaos)")
-
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit (inspect with 'go tool pprof')")
+
+		health    cliflags.Health
+		chaos     cliflags.Chaos
+		engine    = cliflags.Engine{Workers: 1, Shards: 1}
+		retry     cliflags.Retry
+		journal   cliflags.Journal
+		telemetry cliflags.Telemetry
 	)
+	health.Register(flag.CommandLine)
+	chaos.Register(flag.CommandLine)
+	engine.Register(flag.CommandLine)
+	retry.Register(flag.CommandLine)
+	journal.Register(flag.CommandLine)
+	telemetry.Register(flag.CommandLine)
 	flag.Parse()
 
 	finishProfiles := startProfiles(*cpuprofile, *memprofile)
+	closeSink := func() error { return nil } // replaced when -metrics-out opens
 	exit := func(code int) {
+		closeSink()
 		finishProfiles()
 		os.Exit(code)
 	}
 	defer finishProfiles()
+	defer func() { closeSink() }()
 
 	if *list || *run == "" {
 		fmt.Printf("%-10s %s\n", "ID", "TITLE")
@@ -83,29 +89,27 @@ func main() {
 		ctx.Progress = os.Stderr
 	}
 	ctx.Health.Ctx = sigCtx
-	ctx.Health.Deadline = *deadline
-	ctx.Health.StallWindow = *stallWindow
-	ctx.Workers = *workers
-	ctx.Health.Shards = *shards
-	ctx.Retry = experiments.RetryPolicy{Retries: *retries}
-	ctx.PointDeadline = *pointDeadline
-	if spec, err := dcl1.ChaosPreset(*chaosPreset, *chaosSeed); err != nil {
+	health.Apply(&ctx.Health)
+	engine.Apply(&ctx.Health)
+	ctx.Workers = engine.Workers
+	ctx.Retry = retry.Policy()
+	ctx.PointDeadline = retry.PointDeadline
+	if err := chaos.Apply(&ctx.Health); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		exit(1)
-	} else if spec != nil {
-		ctx.Health.Chaos = spec
 	}
-	if *resume != "" {
-		j, err := experiments.OpenJournal(*resume)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			exit(1)
-		}
+	if cs, err := telemetry.Apply(&ctx.Health); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	} else {
+		closeSink = cs
+	}
+	if j, err := journal.Open(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		exit(1)
+	} else if j != nil {
 		defer j.Close()
 		ctx.Journal = j
-		if n := j.Completed(); n > 0 {
-			fmt.Fprintf(os.Stderr, "resume: %d completed point(s) in %s will be skipped\n", n, *resume)
-		}
 	}
 
 	var ids []string

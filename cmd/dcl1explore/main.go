@@ -29,9 +29,9 @@ import (
 	"syscall"
 
 	"dcl1sim"
+	"dcl1sim/internal/cliflags"
 	"dcl1sim/internal/experiments"
 	"dcl1sim/internal/serve"
-	"dcl1sim/internal/sim"
 )
 
 func main() {
@@ -40,20 +40,22 @@ func main() {
 		boost   = flag.Bool("boost", true, "boost NoC#1 to 2x where the crossbars allow it")
 		cycles  = flag.Int64("cycles", 16000, "measurement window in core cycles")
 		warmup  = flag.Int64("warmup", 8000, "warmup window in core cycles")
+		specOut = flag.String("spec-out", "", "write the sweep spec JSON (the grid this command walks, POSTable to dcl1serve) to this file and exit")
+		verbose = flag.Bool("v", false, "print each simulation as it runs")
 
-		deadline    = flag.Duration("deadline", 0, "wall-clock bound per simulation (0 = none)")
-		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
-		workers     = flag.Int("workers", 1, "simulate sweep points across this many goroutines (results are identical for any value)")
-		shards      = flag.Int("shards", 1, "tick-execution shards inside each simulation; capped at GOMAXPROCS/workers (results are identical for any value)")
-
-		resume        = flag.String("resume", "", "journal completed simulations to this JSONL file and skip points already journaled there")
-		retries       = flag.Int("retries", 0, "retry a simulation that overran its deadline up to this many times (capped exponential backoff)")
-		pointDeadline = flag.Duration("point-deadline", 0, "wall-clock bound per sweep point, folded into -deadline (tighter wins; 0 = none)")
-		chaosPreset   = flag.String("chaos", "", "fault-injection preset: off, light, or heavy")
-		chaosSeed     = flag.Uint64("chaos-seed", 1, "fault-injection seed (with -chaos)")
-		specOut       = flag.String("spec-out", "", "write the sweep spec JSON (the grid this command walks, POSTable to dcl1serve) to this file and exit")
-		verbose       = flag.Bool("v", false, "print each simulation as it runs")
+		health    cliflags.Health
+		chaos     cliflags.Chaos
+		engine    = cliflags.Engine{Workers: 1, Shards: 1}
+		retry     cliflags.Retry
+		journal   cliflags.Journal
+		telemetry cliflags.Telemetry
 	)
+	health.Register(flag.CommandLine)
+	chaos.Register(flag.CommandLine)
+	engine.Register(flag.CommandLine)
+	retry.Register(flag.CommandLine)
+	journal.Register(flag.CommandLine)
+	telemetry.Register(flag.CommandLine)
 	flag.Parse()
 
 	app, ok := dcl1.AppByName(*appName)
@@ -66,9 +68,9 @@ func main() {
 	// command walks can be emitted with -spec-out and POSTed to dcl1serve,
 	// which expands it to the same jobs (same memo keys, same results).
 	spec := serve.ExploreSpec(*appName, *boost, *cycles, *warmup)
-	if *chaosPreset != "" && *chaosPreset != "off" {
-		spec.Chaos = *chaosPreset
-		spec.ChaosSeed = *chaosSeed
+	if chaos.Preset != "" && chaos.Preset != "off" {
+		spec.Chaos = chaos.Preset
+		spec.ChaosSeed = chaos.Seed
 	}
 	if *specOut != "" {
 		if err := os.WriteFile(*specOut, append(spec.Encode(), '\n'), 0o644); err != nil {
@@ -86,18 +88,19 @@ func main() {
 	defer stopSig()
 
 	cfg := spec.Config()
-	opts := dcl1.HealthOptions{
-		StallWindow: sim.Cycle(*stallWindow),
-		Deadline:    *deadline,
-		Shards:      *shards,
-		Ctx:         sigCtx,
-	}
-	if pspec, err := dcl1.ChaosPreset(*chaosPreset, *chaosSeed); err != nil {
+	opts := dcl1.HealthOptions{Ctx: sigCtx}
+	health.Apply(&opts)
+	engine.Apply(&opts)
+	if err := chaos.Apply(&opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	} else if pspec != nil {
-		opts.Chaos = pspec
 	}
+	closeSink, err := telemetry.Apply(&opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer closeSink()
 
 	// The sweep runs under the experiments supervisor: panics become typed
 	// errors, deadline overruns retry, completed points journal to -resume,
@@ -105,24 +108,19 @@ func main() {
 	// of aborting the whole exploration.
 	sup := &experiments.Supervisor{
 		Health:        opts,
-		Workers:       *workers,
-		Retry:         experiments.RetryPolicy{Retries: *retries},
-		PointDeadline: *pointDeadline,
+		Workers:       engine.Workers,
+		Retry:         retry.Policy(),
+		PointDeadline: retry.PointDeadline,
 	}
 	if *verbose {
 		sup.Progress = os.Stderr
 	}
-	if *resume != "" {
-		j, err := experiments.OpenJournal(*resume)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	if j, err := journal.Open(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	} else if j != nil {
 		defer j.Close()
 		sup.Journal = j
-		if n := j.Completed(); n > 0 {
-			fmt.Fprintf(os.Stderr, "resume: %d completed point(s) in %s will be skipped\n", n, *resume)
-		}
 	}
 
 	type point struct {

@@ -1,0 +1,25 @@
+// Command dcl1promlint validates a Prometheus text exposition page read from
+// stdin: every sample typed exactly once, parseable values, quoted labels, no
+// duplicate series. CI pipes a live scrape of dcl1serve's
+// /v1/jobs/{id}/metrics endpoint through it so a formatting regression fails
+// the build before it breaks someone's scraper.
+//
+// Usage:
+//
+//	curl -s localhost:8080/v1/jobs/<id>/metrics | dcl1promlint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"dcl1sim/internal/metrics"
+)
+
+func main() {
+	if err := metrics.LintProm(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "dcl1promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("exposition ok")
+}

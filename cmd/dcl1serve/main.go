@@ -10,6 +10,7 @@
 //
 //	dcl1serve -addr :8080 -data ./dcl1serve-data
 //	dcl1serve -workers 8 -max-queued 1024 -tenant-inflight 4
+//	dcl1serve -metrics-every 4096     # live metrics on /v1/jobs/{id}/metrics
 //
 // Example session (see README "Running as a service"):
 //
@@ -30,28 +31,32 @@ import (
 	"syscall"
 	"time"
 
-	"dcl1sim/internal/experiments"
+	"dcl1sim/internal/cliflags"
 	"dcl1sim/internal/serve"
-	"dcl1sim/internal/sim"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		dataDir = flag.String("data", "dcl1serve-data", "persistent state directory (result store + job log)")
-		workers = flag.Int("workers", 0, "concurrently executing points (0 = GOMAXPROCS)")
 
 		maxQueued      = flag.Int("max-queued", 4096, "global bound on pending points; beyond it submissions get 429 + Retry-After")
 		tenantQueued   = flag.Int("tenant-queued", 0, "per-tenant bound on pending points (0 = the global bound)")
 		tenantInflight = flag.Int("tenant-inflight", 0, "per-tenant concurrency quota (0 = the worker count)")
 		breaker        = flag.Int("breaker", 3, "consecutive point failures that trip a job's circuit breaker (negative disables)")
 
-		retries       = flag.Int("retries", 1, "retry a point that overran its deadline up to this many times (capped exponential backoff)")
-		pointDeadline = flag.Duration("point-deadline", 2*time.Minute, "wall-clock bound per point (0 = none)")
-		stallWindow   = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
-		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "graceful-drain bound on SIGTERM; in-flight points beyond it are canceled and recovered on restart")
-		verbose       = flag.Bool("v", false, "log each point as it runs")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-drain bound on SIGTERM; in-flight points beyond it are canceled and recovered on restart")
+		verbose      = flag.Bool("v", false, "log each point as it runs")
+
+		health    cliflags.Health
+		engine    = cliflags.Engine{Workers: 0, Shards: 1}
+		retry     = cliflags.Retry{Retries: 1, PointDeadline: 2 * time.Minute}
+		telemetry cliflags.Telemetry
 	)
+	health.Register(flag.CommandLine)
+	engine.Register(flag.CommandLine)
+	retry.Register(flag.CommandLine)
+	telemetry.RegisterEvery(flag.CommandLine)
 	flag.Parse()
 
 	if err := os.MkdirAll(*dataDir, 0o755); err != nil {
@@ -60,14 +65,17 @@ func main() {
 	}
 	opt := serve.Options{
 		DataDir:           *dataDir,
-		Workers:           *workers,
+		Workers:           engine.Workers,
+		Shards:            engine.Shards,
 		MaxQueuedPoints:   *maxQueued,
 		TenantMaxQueued:   *tenantQueued,
 		TenantMaxInFlight: *tenantInflight,
 		BreakerThreshold:  *breaker,
-		Retry:             experiments.RetryPolicy{Retries: *retries},
-		PointDeadline:     *pointDeadline,
-		StallWindow:       sim.Cycle(*stallWindow),
+		Retry:             retry.Policy(),
+		PointDeadline:     retry.PointDeadline,
+		StallWindow:       health.StallWindow,
+		Deadline:          health.Deadline,
+		MetricsEvery:      telemetry.Every,
 	}
 	if *verbose {
 		opt.Progress = os.Stderr

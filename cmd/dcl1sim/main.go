@@ -4,12 +4,17 @@
 // Usage:
 //
 //	dcl1sim -app T-AlexNet -design Sh40+C10+Boost [-cores 80] [-cycles 40000]
+//	dcl1sim -app T-AlexNet -metrics-out run.ndjson          # live metric batches
+//	dcl1sim -app T-AlexNet -power-cap 60 -power-zone module # capped run
 //	dcl1sim -list
 //
 // Runs execute under the simulation health layer: a wedged run aborts with a
 // deadlock diagnosis instead of hanging, -deadline bounds wall-clock time,
 // and failures exit non-zero with a diagnostic dump (-health-dump redirects
-// the dump to a file).
+// the dump to a file). -metrics-out samples the live metric registry every
+// -metrics-every cycles into NDJSON batches; -power-cap arms the power-zone
+// governor, which throttles core issue whenever the zone's metered watts
+// exceed the budget.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"strings"
 
 	"dcl1sim"
+	"dcl1sim/internal/cliflags"
 	"dcl1sim/internal/sim"
 )
 
@@ -35,13 +41,17 @@ func main() {
 		list    = flag.Bool("list", false, "list applications and exit")
 		cfgPath = flag.String("config", "", "machine configuration JSON file (overrides other machine flags)")
 		asJSON  = flag.Bool("json", false, "emit results as JSON")
+		dumpPath = flag.String("health-dump", "", "write the diagnostic dump of a failed run to this file (default stderr)")
 
-		deadline    = flag.Duration("deadline", 0, "wall-clock bound for the run (0 = none)")
-		stallWindow = flag.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
-		dumpPath    = flag.String("health-dump", "", "write the diagnostic dump of a failed run to this file (default stderr)")
-		chaosName   = flag.String("chaos", "", "fault-injection preset: off, light, or heavy (deterministic per -chaos-seed)")
-		chaosSeed   = flag.Uint64("chaos-seed", 1, "fault-injection seed (with -chaos)")
+		health    cliflags.Health
+		chaos     cliflags.Chaos
+		engine    cliflags.Engine
+		telemetry cliflags.Telemetry
 	)
+	health.Register(flag.CommandLine)
+	chaos.Register(flag.CommandLine)
+	engine.RegisterShards(flag.CommandLine)
+	telemetry.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -87,17 +97,22 @@ func main() {
 		cfg.Sched = dcl1.Distributed
 	}
 
-	opts := []dcl1.RunOption{dcl1.WithHealth(dcl1.HealthOptions{
-		StallWindow: sim.Cycle(*stallWindow),
-		Deadline:    *deadline,
-	})}
-	if spec, err := dcl1.ChaosPreset(*chaosName, *chaosSeed); err != nil {
+	var h dcl1.HealthOptions
+	health.Apply(&h)
+	engine.Apply(&h)
+	if err := chaos.Apply(&h); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	} else if spec != nil {
-		opts = append(opts, dcl1.WithChaos(spec))
 	}
-	r, err := dcl1.Run(cfg, d, app, opts...)
+	closeSink, err := telemetry.Apply(&h)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r, err := dcl1.Run(cfg, d, app, dcl1.WithHealth(h))
+	if serr := closeSink(); serr != nil {
+		fmt.Fprintf(os.Stderr, "metrics sink: %v\n", serr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		writeDump(err, *dumpPath)

@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"dcl1sim"
+	"dcl1sim/internal/cliflags"
 )
 
 func main() {
@@ -74,8 +75,12 @@ func replay(args []string) {
 	in := fs.String("in", "workload.trc", "input trace file")
 	design := fs.String("design", "Sh40+C10+Boost", "cache organization")
 	cycles := fs.Int64("cycles", 0, "measurement window (core cycles)")
-	deadline := fs.Duration("deadline", 0, "wall-clock bound for the run (0 = none)")
-	stallWindow := fs.Int64("stall-window", 0, "deadlock window in core cycles (0 = default, negative disables)")
+	var health cliflags.Health
+	var engine cliflags.Engine
+	var telemetry cliflags.Telemetry
+	health.Register(fs)
+	engine.RegisterShards(fs)
+	telemetry.Register(fs)
 	fs.Parse(args)
 
 	f, err := os.Open(*in)
@@ -92,8 +97,17 @@ func replay(args []string) {
 		fatal("%v", err)
 	}
 	cfg := dcl1.Config{Cores: tr.Cores, MeasureCycles: *cycles}
-	r, err := dcl1.Run(cfg, d, tr,
-		dcl1.WithHealth(dcl1.HealthOptions{StallWindow: *stallWindow, Deadline: *deadline}))
+	var h dcl1.HealthOptions
+	health.Apply(&h)
+	engine.Apply(&h)
+	closeSink, err := telemetry.Apply(&h)
+	if err != nil {
+		fatal("%v", err)
+	}
+	r, err := dcl1.Run(cfg, d, tr, dcl1.WithHealth(h))
+	if serr := closeSink(); serr != nil {
+		fmt.Fprintf(os.Stderr, "metrics sink: %v\n", serr)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		dcl1.WriteHealthDump(os.Stderr, err)
@@ -104,7 +118,7 @@ func replay(args []string) {
 	fmt.Printf("IPC:               %.3f\n", r.IPC)
 	fmt.Printf("L1 miss rate:      %.3f\n", r.L1MissRate)
 	fmt.Printf("replication ratio: %.3f\n", r.ReplicationRatio)
-	fmt.Printf("mean load RTT:     %.1f (p50<=%d, p99<=%d)\n", r.MeanRTT, r.P50RTT, r.P99RTT)
+	fmt.Printf("mean load RTT:     %.1f (p50~%d, p99~%d)\n", r.MeanRTT, r.P50RTT, r.P99RTT)
 }
 
 func info(args []string) {

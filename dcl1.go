@@ -92,17 +92,6 @@ const (
 // rejected; omitted fields take the Table II defaults).
 func LoadConfig(r io.Reader) (Config, error) { return gpu.LoadConfig(r) }
 
-// mustRun is the legacy error-free run path behind the deprecated wrappers:
-// it delegates to the one-door Run and panics on error, matching the old
-// panic-on-invalid-input behavior of the unchecked entry points.
-func mustRun(cfg Config, d Design, w Workload) Results {
-	r, err := Run(cfg, d, w)
-	if err != nil {
-		panic(err)
-	}
-	return r
-}
-
 // Apps returns all 28 evaluated applications, sorted by name.
 func Apps() []AppSpec { return workload.Apps() }
 

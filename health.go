@@ -33,33 +33,6 @@ type (
 	Violation = health.Violation
 )
 
-// RunChecked runs one app under the health layer: a wedged simulation aborts
-// with a *DeadlockError naming the stalled subsystem, wall-clock overruns
-// abort with a *DeadlineError, the finished run is audited for invariant
-// violations, and panics surface as *SimError instead of crashing the caller.
-//
-// Deprecated: use Run with WithHealth — the health layer is always on now.
-func RunChecked(cfg Config, d Design, app AppSpec, opts HealthOptions) (Results, error) {
-	return Run(cfg, d, app, WithHealth(opts))
-}
-
-// RunWorkloadChecked is RunChecked for any Workload (AppSpec, Trace, or
-// Partition).
-//
-// Deprecated: use Run with WithHealth; Run accepts any Workload directly.
-func RunWorkloadChecked(cfg Config, d Design, w Workload, opts HealthOptions) (Results, error) {
-	return Run(cfg, d, w, WithHealth(opts))
-}
-
-// RunBatchChecked is RunBatch under the health layer: errs[i] is job i's
-// typed health error, or nil. One wedged or crashing job degrades into its
-// error slot instead of hanging or killing the whole sweep.
-//
-// Deprecated: use RunMany with WithWorkers and WithHealth.
-func RunBatchChecked(jobs []Job, workers int, opts HealthOptions) (results []Results, errs []error) {
-	return RunMany(jobs, WithWorkers(workers), WithHealth(opts))
-}
-
 // DumpOf extracts the diagnostic dump carried by a checked-run error, or nil
 // (plain validation errors and SimError carry none).
 func DumpOf(err error) *HealthDump { return health.DumpOf(err) }

@@ -113,6 +113,7 @@ type Stats struct {
 	MemIssued     int64
 	Transactions  int64 // coalesced memory transactions created
 	StallNoReady  int64 // cycles with no issuable wavefront
+	Throttled     int64 // awake cycles the power governor withheld issue
 	RTTSum        int64 // sum of load round-trip times (core cycles)
 	RTTCount      int64
 	// RTT is the full load round-trip latency distribution.
@@ -189,6 +190,12 @@ type Core struct {
 	// pendCount tracks wavefronts with an active pending memory op so the
 	// expansion pass can skip the scan entirely when none exist.
 	pendCount int
+
+	// throttle is the power governor's duty-cycle gate: level L withholds
+	// issue on L of every 8 cycles (retire, expansion, and LSQ drain still
+	// run, so outstanding work lands normally). Changed only from clock
+	// barriers, read only by issue.
+	throttle int
 }
 
 // New builds a core with no wavefronts; add them with AddWave.
@@ -206,6 +213,23 @@ func New(p Params) *Core {
 func (c *Core) AddWave(prog Program) {
 	c.waves = append(c.waves, &wave{id: len(c.waves), prog: prog})
 }
+
+// SetThrottle sets the governor duty-cycle level: 0 runs free, level L in
+// [1, 7] withholds issue on L of every 8 cycles. Callers must only change it
+// from clock-barrier tasks so every core observes the new level on the same
+// edge in every execution mode.
+func (c *Core) SetThrottle(level int) {
+	if level < 0 {
+		level = 0
+	}
+	if level > 7 {
+		level = 7
+	}
+	c.throttle = level
+}
+
+// Throttle returns the current governor duty-cycle level.
+func (c *Core) Throttle() int { return c.throttle }
 
 // Waves returns the number of wavefronts.
 func (c *Core) Waves() int { return len(c.waves) }
@@ -369,6 +393,16 @@ func (c *Core) issue(now sim.Cycle) {
 	}
 	if c.Chaos.IssueStalled(now) {
 		c.Stat.StallNoReady++
+		return
+	}
+	// Power-governor duty cycle: level L gates L of every 8 issue slots,
+	// keyed off the absolute cycle so the pattern is identical in every tick
+	// mode. Placed after the chaos draw so arming a cap never perturbs the
+	// fault schedule. Asleep cores never reach this point in either tick
+	// mode (the sleep check above returns first), so fast-path skips and
+	// legacy ticks count Throttled identically.
+	if c.throttle > 0 && int(now&7) < c.throttle {
+		c.Stat.Throttled++
 		return
 	}
 	issued := 0

@@ -13,6 +13,8 @@ import (
 	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/gpu"
 	"dcl1sim/internal/health"
+	"dcl1sim/internal/metrics"
+	"dcl1sim/internal/power"
 )
 
 // RetryPolicy bounds how a Supervisor retries transiently failed points.
@@ -82,6 +84,13 @@ type Supervisor struct {
 	// Progress, when non-nil, receives one line per point (ran / FAILED /
 	// skip / retry).
 	Progress io.Writer
+	// Metrics, when non-nil, builds the per-point live-metrics options just
+	// before each attempt runs (the service layer attaches per-job stream
+	// sinks here). A nil return leaves that point dark. Metrics collection
+	// never perturbs Results, so it does not enter the point's content key —
+	// but note a journal or cache hit skips the simulation entirely and
+	// produces no stream.
+	Metrics func(j gpu.Job) *metrics.Options
 
 	mu sync.Mutex
 }
@@ -97,21 +106,26 @@ func (s *Supervisor) pointOpts() gpu.HealthOptions {
 }
 
 // PointKey returns the content address of one supervised point: JobKey plus
-// the chaos spec when fault injection is armed. Chaos perturbs results, so a
-// chaotic point never matches a clean journal entry (and vice versa). The
-// service layer's result cache uses the same key, so cache hits and journal
-// hits agree everywhere a point's identity matters.
-func PointKey(j gpu.Job, spec *chaos.Spec) string {
+// the chaos spec when fault injection is armed and the power cap when the
+// governor is. Both perturb results, so an armed point never matches a clean
+// journal entry (and vice versa). The service layer's result cache uses the
+// same key, so cache hits and journal hits agree everywhere a point's
+// identity matters. Metrics collection is deliberately absent: observation
+// never changes Results.
+func PointKey(j gpu.Job, spec *chaos.Spec, cap *power.CapSpec) string {
 	k := JobKey(j)
 	if spec != nil {
 		k += fmt.Sprintf("|chaos=%+v", *spec)
+	}
+	if cap != nil {
+		k += fmt.Sprintf("|cap=%+v", *cap)
 	}
 	return k
 }
 
 // key returns the journal identity of one point.
 func (s *Supervisor) key(j gpu.Job) string {
-	return PointKey(j, s.Health.Chaos)
+	return PointKey(j, s.Health.Chaos, s.Health.PowerCap)
 }
 
 func (s *Supervisor) progressf(format string, args ...interface{}) {
@@ -201,6 +215,9 @@ func (s *Supervisor) runPoint(j gpu.Job, h gpu.HealthOptions) (gpu.Results, erro
 		if h.Ctx != nil && h.Ctx.Err() != nil {
 			return gpu.Results{}, fmt.Errorf("experiments: point %s/%s canceled before start: %w",
 				name, app, h.Ctx.Err())
+		}
+		if s.Metrics != nil {
+			h.Metrics = s.Metrics(j)
 		}
 		r, err := runGuarded(j, h)
 		if err == nil {

@@ -9,6 +9,7 @@ import (
 	"dcl1sim/internal/dcl1"
 	"dcl1sim/internal/dram"
 	"dcl1sim/internal/mem"
+	"dcl1sim/internal/metrics"
 	"dcl1sim/internal/noc"
 	"dcl1sim/internal/power"
 	"dcl1sim/internal/sim"
@@ -62,6 +63,15 @@ type System struct {
 	// component injectors, in installation order.
 	chaosSpec *chaos.Spec
 	injectors []*chaos.Injector
+
+	// Telemetry. Reg and meter are built unconditionally at the end of
+	// NewSystem (registration is closures over existing counters, so an
+	// unobserved registry is free); collector and gov exist only after
+	// InstallTelemetry.
+	Reg       *metrics.Registry
+	meter     *power.Meter
+	collector *metrics.Collector
+	gov       *governor
 }
 
 // BuildOption adjusts how NewSystem assembles a machine.
@@ -142,6 +152,7 @@ func NewSystem(cfg Config, d Design, app workload.Source, opts ...BuildOption) *
 		s.wireMeshNoC()
 	}
 	s.wireMemSide()
+	s.registerMetrics()
 	return s
 }
 

@@ -7,7 +7,9 @@ import (
 
 	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/health"
+	"dcl1sim/internal/metrics"
 	"dcl1sim/internal/noc"
+	"dcl1sim/internal/power"
 	"dcl1sim/internal/sim"
 	"dcl1sim/internal/workload"
 )
@@ -46,6 +48,16 @@ type HealthOptions struct {
 	// package). The fault schedule is a pure function of the spec, so a
 	// chaotic run is just as replayable and shard-invariant as a clean one.
 	Chaos *chaos.Spec
+	// Metrics, when non-nil, attaches live metrics collection: the registry
+	// is snapshotted every Metrics.Every core cycles (on exact multiples,
+	// identical in every tick mode and at every shard count) and each batch
+	// is handed to Metrics.Sink. See InstallTelemetry.
+	Metrics *metrics.Options
+	// PowerCap, when non-nil, arms the power-capping governor: at each
+	// metrics sample point the named zone's metered watts are compared
+	// against the budget and the core duty-cycle throttle moves one step.
+	// A cap works with or without a Metrics sink.
+	PowerCap *power.CapSpec
 }
 
 // NewSystemChecked is NewSystem returning validation errors instead of
@@ -255,6 +267,15 @@ func (s *System) RunChecked(opts HealthOptions) (r Results, err error) {
 			return Results{}, err
 		}
 	}
+	if opts.Metrics != nil || opts.PowerCap != nil {
+		var mo metrics.Options
+		if opts.Metrics != nil {
+			mo = *opts.Metrics
+		}
+		if err := s.InstallTelemetry(mo, opts.PowerCap); err != nil {
+			return Results{}, err
+		}
+	}
 	mon := s.NewMonitor()
 	ro := sim.RunOptions{
 		Monitor:     mon,
@@ -284,6 +305,7 @@ func (s *System) RunChecked(opts HealthOptions) (r Results, err error) {
 		return Results{}, err
 	}
 	cycles := s.CoreClk.Now() - measureStart
+	s.flushTelemetry()
 	// Post-run audit. Age-heuristic findings (Warn) diagnose congestion and
 	// belong in dumps, but a saturated-yet-progressing run — e.g. the
 	// paper's pathological apps on the thrashing baseline — is a result,

@@ -7,7 +7,6 @@ import (
 	"dcl1sim/internal/noc"
 	"dcl1sim/internal/power"
 	"dcl1sim/internal/sim"
-	"dcl1sim/internal/stats"
 	"dcl1sim/internal/workload"
 )
 
@@ -77,6 +76,7 @@ func (s *System) Run() Results {
 	start := s.CoreClk.Now()
 	s.Eng.RunUntil(s.CoreClk, cfg.WarmupCycles+cfg.MeasureCycles)
 	cycles := s.CoreClk.Now() - start
+	s.flushTelemetry()
 	return s.collect(cycles)
 }
 
@@ -110,8 +110,16 @@ func (s *System) resetStats() {
 	}
 	s.Tracker.SampledReplicaSum = 0
 	s.Tracker.SampledReplicaCount = 0
+	// Re-baseline the power meter: the counters its zone terms read were just
+	// zeroed, and a window spanning the reset would see negative deltas.
+	s.meter.Rebase()
 }
 
+// collect builds Results as a view over the metric registry: every figure is
+// derived from registered series, so the end-of-run summary and the live
+// stream can never disagree. Registration order matches the old direct
+// component walks (cores, then nodes, then L2/DRAM/NoC), keeping every value
+// bit-identical to the pre-registry collector.
 func (s *System) collect(cycles sim.Cycle) Results {
 	r := Results{
 		Design:         s.D.Name(),
@@ -119,77 +127,50 @@ func (s *System) collect(cycles sim.Cycle) Results {
 		MeasuredCycles: cycles,
 		Seconds:        float64(cycles) / (float64(s.Cfg.CoreMHz) * 1e6),
 	}
-	var issued int64
-	var rttSum, rttCnt int64
-	var rtt stats.Histogram
-	for _, c := range s.Cores {
-		issued += c.Stat.Issued
-		rttSum += c.Stat.RTTSum
-		rttCnt += c.Stat.RTTCount
-		rtt.Merge(&c.Stat.RTT)
-	}
-	r.IPC = float64(issued) / float64(cycles)
-	if rttCnt > 0 {
-		r.MeanRTT = float64(rttSum) / float64(rttCnt)
+	reg := s.Reg
+	r.IPC = float64(reg.Total("core_instructions_total")) / float64(cycles)
+	rtt := reg.MergedHistogram("core_load_rtt_cycles")
+	if rtt.Count() > 0 {
+		r.MeanRTT = float64(rtt.Sum()) / float64(rtt.Count())
 		r.P50RTT = rtt.Percentile(50)
 		r.P99RTT = rtt.Percentile(99)
 	}
 
-	var loads, misses, replicated int64
-	for _, n := range s.Nodes {
-		st := &n.Ctrl.Stat
-		loads += st.Loads
-		misses += st.LoadMisses
-		replicated += st.ReplicatedMisses
-		u := float64(st.Accesses) / float64(cycles)
+	for _, acc := range reg.Ints("l1_accesses_total") {
+		u := float64(acc) / float64(cycles)
 		r.L1PortUtil = append(r.L1PortUtil, u)
 		if u > r.MaxL1PortUtil {
 			r.MaxL1PortUtil = u
 		}
 	}
+	loads := reg.Total("l1_loads_total")
+	misses := reg.Total("l1_load_misses_total")
 	if loads > 0 {
 		r.L1MissRate = float64(misses) / float64(loads)
 	}
 	if misses > 0 {
-		r.ReplicationRatio = float64(replicated) / float64(misses)
+		r.ReplicationRatio = float64(reg.Total("l1_replicated_misses_total")) / float64(misses)
 	}
 	r.MeanReplicas = s.Tracker.MeanReplicas()
 
-	var l2loads, l2miss int64
-	for _, l2 := range s.L2 {
-		l2loads += l2.Stat.Loads
-		l2miss += l2.Stat.LoadMisses
+	if l2loads := reg.Total("l2_loads_total"); l2loads > 0 {
+		r.L2MissRate = float64(reg.Total("l2_load_misses_total")) / float64(l2loads)
 	}
-	if l2loads > 0 {
-		r.L2MissRate = float64(l2miss) / float64(l2loads)
-	}
-	for _, dc := range s.Drams {
-		r.DramReads += dc.Stat.Reads
-		r.DramWrites += dc.Stat.Writes
-	}
+	r.DramReads = reg.Total("dram_reads_total")
+	r.DramWrites = reg.Total("dram_writes_total")
 
-	for _, x := range s.Noc1Req {
-		r.Noc1Flits += x.Stat.FlitsMoved
+	r.Noc1Flits = reg.Total("noc1_flits_total")
+	r.Noc2Flits = reg.Total("noc2_flits_total")
+	// The paper's reply-link utilization figure reads the network that ships
+	// L2 replies: NoC#2 for the single-network designs (Baseline, CDXBar),
+	// NoC#1 for the decoupled ones. The mesh design has no reply crossbars,
+	// so both families are empty there and the figure stays 0.
+	if s.D.Kind == Baseline || s.D.Kind == CDXBar {
+		r.MaxReplyLinkUtil = reg.GaugeMax("noc2_reply_link_util_max")
+	} else {
+		r.MaxReplyLinkUtil = reg.GaugeMax("noc1_reply_link_util_max")
 	}
-	for _, x := range s.Noc1Rep {
-		r.Noc1Flits += x.Stat.FlitsMoved
-		if u := x.Stat.MaxOutUtilization(); s.D.Kind != Baseline && s.D.Kind != CDXBar && u > r.MaxReplyLinkUtil {
-			r.MaxReplyLinkUtil = u
-		}
-	}
-	for _, x := range s.Noc2Req {
-		r.Noc2Flits += x.Stat.FlitsMoved
-	}
-	for _, x := range s.Noc2Rep {
-		r.Noc2Flits += x.Stat.FlitsMoved
-		if u := x.Stat.MaxOutUtilization(); (s.D.Kind == Baseline || s.D.Kind == CDXBar) && u > r.MaxReplyLinkUtil {
-			r.MaxReplyLinkUtil = u
-		}
-	}
-	if s.MeshReq != nil {
-		r.Noc2Flits += s.MeshReq.Stat.FlitHops + s.MeshRep.Stat.FlitHops
-	}
-	r.FaultsInjected = s.FaultsInjected()
+	r.FaultsInjected = reg.Total("chaos_faults_total")
 	return r
 }
 

@@ -17,7 +17,7 @@ func (r Results) Summary() string {
 	fmt.Fprintf(&sb, "replicas/line:     %.2f\n", r.MeanReplicas)
 	fmt.Fprintf(&sb, "max L1 port util:  %.3f\n", r.MaxL1PortUtil)
 	fmt.Fprintf(&sb, "max reply link:    %.3f\n", r.MaxReplyLinkUtil)
-	fmt.Fprintf(&sb, "mean load RTT:     %.1f core cycles (p50<=%d, p99<=%d)\n", r.MeanRTT, r.P50RTT, r.P99RTT)
+	fmt.Fprintf(&sb, "mean load RTT:     %.1f core cycles (p50~%d, p99~%d)\n", r.MeanRTT, r.P50RTT, r.P99RTT)
 	fmt.Fprintf(&sb, "L2 miss rate:      %.3f\n", r.L2MissRate)
 	fmt.Fprintf(&sb, "DRAM reads/writes: %d / %d\n", r.DramReads, r.DramWrites)
 	fmt.Fprintf(&sb, "NoC#1 / NoC#2 flits: %d / %d\n", r.Noc1Flits, r.Noc2Flits)

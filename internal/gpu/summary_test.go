@@ -8,7 +8,7 @@ import (
 func TestResultsSummary(t *testing.T) {
 	r := Run(testCfg(), Design{Kind: Baseline}, sharingApp())
 	s := r.Summary()
-	for _, want := range []string{"app:", "design:", "Baseline", "IPC:", "replication ratio:", "p50<=", "DRAM"} {
+	for _, want := range []string{"app:", "design:", "Baseline", "IPC:", "replication ratio:", "p50~", "DRAM"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("summary missing %q:\n%s", want, s)
 		}

@@ -22,6 +22,10 @@ const DefaultTenant = "anon"
 //	GET  /v1/jobs/{id}         job status snapshot with per-point results
 //	GET  /v1/jobs/{id}/stream  per-point results as they land: NDJSON by
 //	                           default, SSE with Accept: text/event-stream
+//	GET  /v1/jobs/{id}/metrics live simulation metrics (requires the server's
+//	                           -metrics-every): Prometheus text exposition of
+//	                           the newest snapshot per design, or every batch
+//	                           as NDJSON/SSE with ?follow=1
 //	GET  /healthz              liveness (always 200 while the process serves)
 //	GET  /readyz               admission readiness (503 while draining)
 //	GET  /statz                operability snapshot (queue depths, cache hit
@@ -31,6 +35,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

@@ -78,6 +78,9 @@ type job struct {
 	finished    bool
 	recovered   bool
 	notify      chan struct{}
+	// metrics fans live metric batches out to /v1/jobs/{id}/metrics
+	// streamers; nil when the server runs without MetricsEvery.
+	metrics *jobMetrics
 }
 
 // status builds a snapshot; caller holds the server mutex. withResults

@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dcl1sim/internal/metrics"
+)
+
+// TestMetricsEndpointDisabled pins the off-by-default behavior: without
+// MetricsEvery the endpoint 404s with a hint, for known jobs too.
+func TestMetricsEndpointDisabled(t *testing.T) {
+	s, ts := newTestService(t, Options{Workers: 1})
+	defer closeServer(t, s)
+
+	spec := testSpec(t, 0, "Baseline")
+	resp := postSpec(t, ts.URL, "", string(spec.Encode()))
+	var st JobStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "metrics-every") {
+		t.Fatalf("disabled endpoint: status %d body %s", mresp.StatusCode, body)
+	}
+
+	uresp, _ := http.Get(ts.URL + "/v1/jobs/nope/metrics")
+	if uresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: status %d", uresp.StatusCode)
+	}
+	uresp.Body.Close()
+}
+
+// TestMetricsEndpointScrapeAndFollow runs a sweep with live metrics on and
+// exercises both faces of the endpoint: the ?follow=1 NDJSON stream (every
+// batch, multiplexing designs, terminating when the job does) and the
+// Prometheus snapshot, which must pass the exposition linter.
+func TestMetricsEndpointScrapeAndFollow(t *testing.T) {
+	s, ts := newTestService(t, Options{Workers: 2, MetricsEvery: 256})
+	defer closeServer(t, s)
+
+	spec := testSpec(t, 0, "Baseline", "Sh4")
+	resp := postSpec(t, ts.URL, "", string(spec.Encode()))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+
+	// Follow the live stream to the end. Designs interleave on one stream;
+	// every line must decode as a batch with samples and a design label.
+	fresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/metrics?follow=1")
+	if err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	defer fresp.Body.Close()
+	if ct := fresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("follow content type %q", ct)
+	}
+	designs := map[string]int{}
+	finals := 0
+	sc := bufio.NewScanner(fresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var b metrics.Batch
+		if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
+			t.Fatalf("bad metrics line %q: %v", sc.Text(), err)
+		}
+		if b.Design == "" || len(b.Samples) == 0 {
+			t.Fatalf("empty batch: %+v", b)
+		}
+		designs[b.Design]++
+		if b.Final {
+			finals++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	if len(designs) != 2 {
+		t.Fatalf("stream covered designs %v, want both points", designs)
+	}
+	if finals != 2 {
+		t.Errorf("saw %d final batches, want one per design", finals)
+	}
+
+	// After the stream ended the job is done; the snapshot view must render a
+	// lintable Prometheus page covering both designs.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		presp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		if presp.StatusCode == http.StatusNoContent && time.Now().Before(deadline) {
+			presp.Body.Close()
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if presp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape status %d", presp.StatusCode)
+		}
+		if ct := presp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("scrape content type %q", ct)
+		}
+		page, _ := io.ReadAll(presp.Body)
+		presp.Body.Close()
+		if err := metrics.LintProm(strings.NewReader(string(page))); err != nil {
+			t.Fatalf("exposition lint: %v\n%s", err, page)
+		}
+		for _, want := range []string{`design="Baseline"`, `design="Sh4"`, "dcl1_core_instructions_total"} {
+			if !strings.Contains(string(page), want) {
+				t.Errorf("exposition missing %q", want)
+			}
+		}
+		break
+	}
+}
+
+// TestMetricsCachedPointsProduceNoStream pins the documented cache
+// interaction: a resubmitted spec is served from the result store without
+// simulating, so its metrics endpoint stays empty (204) — results are
+// byte-identical either way, which is why metrics stay out of content keys.
+func TestMetricsCachedPointsProduceNoStream(t *testing.T) {
+	s, ts := newTestService(t, Options{Workers: 1, MetricsEvery: 256})
+	defer closeServer(t, s)
+
+	spec := testSpec(t, 0, "Baseline")
+	first := postSpec(t, ts.URL, "", string(spec.Encode()))
+	var st1 JobStatus
+	json.NewDecoder(first.Body).Decode(&st1)
+	first.Body.Close()
+	waitJobDone(t, ts.URL, st1.ID)
+
+	second := postSpec(t, ts.URL, "", string(spec.Encode()))
+	var st2 JobStatus
+	json.NewDecoder(second.Body).Decode(&st2)
+	second.Body.Close()
+	waitJobDone(t, ts.URL, st2.ID)
+
+	mresp, err := http.Get(ts.URL + "/v1/jobs/" + st2.ID + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("cached job scrape: status %d, want 204", mresp.StatusCode)
+	}
+}
+
+func waitJobDone(t *testing.T, url, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("job status: %v", err)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decode status: %v", err)
+		}
+		resp.Body.Close()
+		if st.State == StateDone {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobStatus{}
+}

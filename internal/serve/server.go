@@ -14,6 +14,7 @@ import (
 
 	"dcl1sim/internal/experiments"
 	"dcl1sim/internal/gpu"
+	"dcl1sim/internal/metrics"
 	"dcl1sim/internal/sim"
 )
 
@@ -47,6 +48,20 @@ type Options struct {
 	PointDeadline time.Duration
 	// StallWindow is the per-simulation deadlock window (0 = default).
 	StallWindow sim.Cycle
+	// Deadline is the wall-clock bound per simulation attempt (0 = none);
+	// PointDeadline folds into it per point, tighter wins.
+	Deadline time.Duration
+	// Shards spreads each simulation's clock edges across this many worker
+	// shards (<= 1 serial). Results are bit-identical at every shard count;
+	// size Workers × Shards against the host's cores.
+	Shards int
+	// MetricsEvery, when > 0, attaches live metrics collection to every
+	// fresh point: the registry is snapshotted every MetricsEvery core
+	// cycles and batches stream on GET /v1/jobs/{id}/metrics (Prometheus
+	// exposition snapshot, or NDJSON/SSE with ?follow=1). 0 disables the
+	// endpoint. Collection never changes results or cache keys, but cached
+	// points skip simulation and therefore produce no stream.
+	MetricsEvery int64
 	// Progress, when non-nil, receives the supervisor's per-point lines.
 	Progress io.Writer
 }
@@ -306,7 +321,13 @@ func (s *Server) admitLocked(tenantName string, spec SweepSpec, id string, recov
 		s.tenants[tenantName] = t
 		s.order = append(s.order, tenantName)
 	}
-	h := gpu.HealthOptions{StallWindow: s.opt.StallWindow, Ctx: s.runCtx, Chaos: spec.ChaosSpec()}
+	h := gpu.HealthOptions{
+		StallWindow: s.opt.StallWindow,
+		Deadline:    s.opt.Deadline,
+		Ctx:         s.runCtx,
+		Chaos:       spec.ChaosSpec(),
+		Shards:      s.opt.Shards,
+	}
 	j := &job{
 		id:     id,
 		tenant: tenantName,
@@ -322,6 +343,13 @@ func (s *Server) admitLocked(tenantName string, spec SweepSpec, id string, recov
 		},
 		recovered: recovered,
 		notify:    make(chan struct{}),
+	}
+	if s.opt.MetricsEvery > 0 {
+		j.metrics = newJobMetrics()
+		jm, every := j.metrics, s.opt.MetricsEvery
+		j.sup.Metrics = func(gpu.Job) *metrics.Options {
+			return &metrics.Options{Every: every, Sink: jm}
+		}
 	}
 	s.jobs[id] = j
 

@@ -29,9 +29,11 @@ func OpenStore(path string) (*Store, error) {
 	return &Store{j: j}, nil
 }
 
-// Key returns the content address of one point.
+// Key returns the content address of one point. The service never arms the
+// power-capping governor (SweepSpec has no cap field), so the cap component
+// of the point identity is always nil here.
 func (s *Store) Key(j gpu.Job, spec *chaos.Spec) string {
-	return experiments.PointKey(j, spec)
+	return experiments.PointKey(j, spec, nil)
 }
 
 // Peek returns the stored result for key without touching the hit/miss

@@ -13,8 +13,8 @@ import (
 )
 
 // Histogram is a log2-bucketed histogram of non-negative integer samples
-// (latencies in cycles, queue depths, burst sizes). Bucket b counts samples
-// in [2^(b-1), 2^b) with bucket 0 holding zeros and ones.
+// (latencies in cycles, queue depths, burst sizes). Bucket 0 holds zeros and
+// ones; bucket b >= 1 counts samples in [2^b, 2^(b+1)).
 type Histogram struct {
 	buckets [64]int64
 	count   int64
@@ -69,9 +69,15 @@ func (h *Histogram) Min() int64 {
 // Max returns the largest sample.
 func (h *Histogram) Max() int64 { return h.max }
 
-// Percentile returns an upper bound on the p-th percentile (p in [0,100]):
-// the top of the bucket containing that rank. Exact enough for latency
-// reporting at log resolution.
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Percentile returns the p-th percentile (p in [0,100]), estimated by linear
+// interpolation of the rank's position inside its log2 bucket and clamped to
+// the observed [min, max]. The estimate is always inside the containing
+// bucket (the old top-of-bucket answer could overstate the true order
+// statistic by up to 2x) and is exact for empty, single-sample, and
+// single-valued populations.
 func (h *Histogram) Percentile(p float64) int64 {
 	if h.count == 0 {
 		return 0
@@ -88,17 +94,38 @@ func (h *Histogram) Percentile(p float64) int64 {
 	}
 	var seen int64
 	for b, n := range h.buckets {
-		seen += n
-		if seen >= rank {
-			if b == 0 {
-				return 1
-			}
-			top := int64(1) << uint(b+1)
-			if top > h.max {
-				top = h.max
-			}
-			return top
+		if n == 0 {
+			continue
 		}
+		if seen+n < rank {
+			seen += n
+			continue
+		}
+		// The rank lands in bucket b, which covers [lo, hi): {0, 1} for
+		// bucket 0, [2^b, 2^(b+1)) above. Bucket 62's upper bound would
+		// overflow int64, so the observed max stands in for it (any sample
+		// there is >= 2^62, so max >= lo).
+		lo, hi := int64(0), int64(2)
+		if b > 0 {
+			lo = int64(1) << uint(b)
+			if b < 62 {
+				hi = lo << 1
+			} else {
+				hi = h.max
+			}
+		}
+		pos := rank - seen // 1..n within this bucket
+		vf := float64(lo) + float64(hi-lo)*float64(pos)/float64(n)
+		// Clamp in float space first: near bucket 62 the interpolated value
+		// can round to 2^63, which does not fit an int64.
+		if vf >= float64(h.max) {
+			return h.max
+		}
+		v := int64(vf)
+		if v < h.min {
+			v = h.min
+		}
+		return v
 	}
 	return h.max
 }
@@ -126,7 +153,7 @@ func (h *Histogram) Reset() { *h = Histogram{} }
 
 // Dump writes a textual bucket listing.
 func (h *Histogram) Dump(w io.Writer) {
-	fmt.Fprintf(w, "samples=%d mean=%.1f min=%d max=%d p50<=%d p99<=%d\n",
+	fmt.Fprintf(w, "samples=%d mean=%.1f min=%d max=%d p50~%d p99~%d\n",
 		h.count, h.Mean(), h.Min(), h.Max(), h.Percentile(50), h.Percentile(99))
 	for b, n := range h.buckets {
 		if n == 0 {

@@ -36,11 +36,12 @@ func TestHistogramPercentileBounds(t *testing.T) {
 	for i := int64(1); i <= 1000; i++ {
 		h.Add(i)
 	}
-	// Percentile returns an upper bound at log2 resolution: p50 of 1..1000
-	// is 500, so the bound must be in [500, 1024].
+	// Sub-bucket interpolation: p50 of 1..1000 is 500, uniform data, so the
+	// estimate lands within a few samples of the truth (the old top-of-bucket
+	// bound answered 1024 here, 2x off).
 	p50 := h.Percentile(50)
-	if p50 < 500 || p50 > 1024 {
-		t.Fatalf("p50 bound = %d", p50)
+	if p50 < 492 || p50 > 508 {
+		t.Fatalf("p50 = %d, want ~500", p50)
 	}
 	p100 := h.Percentile(100)
 	if p100 != 1000 {
@@ -92,8 +93,9 @@ func TestHistogramDump(t *testing.T) {
 	}
 }
 
-// Property: percentile upper bound is never below the true percentile.
-func TestHistogramPercentileUpperBoundProperty(t *testing.T) {
+// Property: the interpolated percentile stays within the log2 bucket of the
+// true order statistic — error bounded by one bucket width, never the old 2x.
+func TestHistogramPercentileBucketProperty(t *testing.T) {
 	f := func(raw []uint16, pRaw uint8) bool {
 		if len(raw) == 0 {
 			return true
@@ -111,10 +113,89 @@ func TestHistogramPercentileUpperBoundProperty(t *testing.T) {
 			rank = 1
 		}
 		truth := vals[rank-1]
-		return h.Percentile(p) >= truth
+		lo, width := int64(0), int64(2)
+		if truth > 1 {
+			b := bucketOf(truth)
+			lo = int64(1) << uint(b)
+			width = lo
+		}
+		got := h.Percentile(p)
+		if got < h.Min() || got > h.Max() {
+			return false
+		}
+		d := got - truth
+		if d < 0 {
+			d = -d
+		}
+		return d <= width && got >= lo || got == truth
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property: Percentile is monotone in p.
+func TestHistogramPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, aRaw, bRaw uint8) bool {
+		var h Histogram
+		for _, v := range raw {
+			h.Add(int64(v))
+		}
+		a, b := float64(aRaw%101), float64(bRaw%101)
+		if a > b {
+			a, b = b, a
+		}
+		return h.Percentile(a) <= h.Percentile(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Edge cases the interpolation must get exactly right: empty, single sample,
+// all zeros, and max-int (the old code's 1<<63 bucket top overflowed negative
+// for samples at or above 2^62).
+func TestHistogramPercentileEdgeCases(t *testing.T) {
+	var empty Histogram
+	if empty.Percentile(50) != 0 {
+		t.Fatal("empty must read 0")
+	}
+
+	for _, v := range []int64{0, 1, 5, 1 << 40, math.MaxInt64} {
+		var h Histogram
+		h.Add(v)
+		for _, p := range []float64{0, 50, 99, 100} {
+			if got := h.Percentile(p); got != v {
+				t.Fatalf("single sample %d: p%.0f = %d", v, p, got)
+			}
+		}
+	}
+
+	var zeros Histogram
+	for i := 0; i < 100; i++ {
+		zeros.Add(0)
+	}
+	if got := zeros.Percentile(99); got != 0 {
+		t.Fatalf("all-zeros p99 = %d", got)
+	}
+
+	var big Histogram
+	big.Add(1)
+	big.Add(math.MaxInt64)
+	for _, p := range []float64{99, 100} {
+		got := big.Percentile(p)
+		if got < 0 {
+			t.Fatalf("p%.0f overflowed negative: %d", p, got)
+		}
+		if got != math.MaxInt64 {
+			t.Fatalf("p%.0f = %d, want MaxInt64", p, got)
+		}
+	}
+	var sums Histogram
+	sums.Add(3)
+	sums.Add(4)
+	if sums.Sum() != 7 {
+		t.Fatalf("Sum = %d", sums.Sum())
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 
 	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/gpu"
+	"dcl1sim/internal/metrics"
+	"dcl1sim/internal/power"
 )
 
 // RunOption customizes a Run or RunMany call. The zero set of options runs
@@ -15,13 +17,15 @@ import (
 type RunOption func(*runConfig)
 
 type runConfig struct {
-	health  HealthOptions
-	ctx     context.Context
-	legacy  bool
-	noPool  bool
-	workers int
-	shards  int
-	chaos   *chaos.Spec
+	health   HealthOptions
+	ctx      context.Context
+	legacy   bool
+	noPool   bool
+	workers  int
+	shards   int
+	chaos    *chaos.Spec
+	metrics  *metrics.Options
+	powerCap *power.CapSpec
 }
 
 // WithHealth sets the health layer's knobs: stall window, check period, and
@@ -92,6 +96,12 @@ func (rc *runConfig) healthOptions() HealthOptions {
 	if rc.chaos != nil {
 		h.Chaos = rc.chaos
 	}
+	if rc.metrics != nil {
+		h.Metrics = rc.metrics
+	}
+	if rc.powerCap != nil {
+		h.PowerCap = rc.powerCap
+	}
 	return h
 }
 
@@ -105,8 +115,7 @@ func applyOptions(opts []RunOption) *runConfig {
 
 // Run executes one workload (an AppSpec, Trace, or Partition) on the given
 // machine and design and returns its measurements. It is the single entry
-// point of the package: every other Run* function is a deprecated thin
-// wrapper around it.
+// point of the package (RunMany is the batch form of the same door).
 //
 // Errors are typed (see health.go): validation problems come back as plain
 // errors before any simulation, a wedged run aborts with *DeadlockError, a

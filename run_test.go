@@ -10,24 +10,19 @@ import (
 	"dcl1sim"
 )
 
-// TestRunMatchesDeprecatedWrappers pins the one-door collapse: the deprecated
-// entry points must produce Results bit-identical to Run with the equivalent
-// options.
-func TestRunMatchesDeprecatedWrappers(t *testing.T) {
+// TestRunRepeatable pins the one-door contract now that the deprecated
+// wrappers are gone: Run is the only entry point, and two identically
+// configured calls must produce bit-identical Results (fresh system each
+// time, no state leaking between runs).
+func TestRunRepeatable(t *testing.T) {
 	app, _ := dcl1.AppByName("T-AlexNet")
 	cfg := smallCfg()
 	d := dcl1.Design{Kind: dcl1.Shared, DCL1s: 8}
 
-	door := mustRun(t, cfg, d, app)
-	if legacy := dcl1.RunWorkload(cfg, d, app); !reflect.DeepEqual(door, legacy) {
-		t.Errorf("RunWorkload diverged from Run:\n%+v\n%+v", legacy, door)
-	}
-	checked, err := dcl1.RunChecked(cfg, d, app, dcl1.HealthOptions{})
-	if err != nil {
-		t.Fatalf("RunChecked: %v", err)
-	}
-	if !reflect.DeepEqual(door, checked) {
-		t.Errorf("RunChecked diverged from Run:\n%+v\n%+v", checked, door)
+	first := mustRun(t, cfg, d, app)
+	second := mustRun(t, cfg, d, app)
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("Run is not repeatable:\n%+v\n%+v", first, second)
 	}
 }
 

@@ -15,14 +15,6 @@ type Workload = workload.Source
 // Trace is a recorded workload that can be replayed through any design.
 type Trace = trace.Trace
 
-// RunWorkload executes any Workload (AppSpec, Trace, or Partition).
-//
-// Deprecated: use Run, which accepts any Workload directly and returns
-// errors instead of panicking.
-func RunWorkload(cfg Config, d Design, w Workload) Results {
-	return mustRun(cfg, d, w)
-}
-
 // NewPartition builds a multiprogram workload: the machine's cores are split
 // into equal contiguous blocks, one application per block (the
 // concurrent-kernel scenario). Aligning block boundaries with DC-L1 cluster
@@ -33,22 +25,6 @@ func NewPartition(cores int, apps ...AppSpec) Workload {
 
 // Job is one simulation in a batch sweep.
 type Job = gpu.Job
-
-// RunBatch executes independent simulations across worker goroutines
-// (workers <= 0 uses GOMAXPROCS) and returns results in job order. Each
-// simulation stays deterministic. It panics on the first job error.
-//
-// Deprecated: use RunMany with WithWorkers, which reports per-job errors
-// instead of panicking.
-func RunBatch(jobs []Job, workers int) []Results {
-	results, errs := RunMany(jobs, WithWorkers(workers))
-	for _, err := range errs {
-		if err != nil {
-			panic(err)
-		}
-	}
-	return results
-}
 
 // CaptureTrace materializes opsPerWave operations of a workload into a
 // portable trace for a machine with the given core count.
