@@ -45,7 +45,7 @@ func main() {
 
 		health    cliflags.Health
 		chaos     cliflags.Chaos
-		engine    = cliflags.Engine{Workers: 1, Shards: 1}
+		engine    = cliflags.Engine{Workers: 1}
 		retry     cliflags.Retry
 		journal   cliflags.Journal
 		telemetry cliflags.Telemetry

@@ -49,7 +49,7 @@ func main() {
 		verbose      = flag.Bool("v", false, "log each point as it runs")
 
 		health    cliflags.Health
-		engine    = cliflags.Engine{Workers: 0, Shards: 1}
+		engine    = cliflags.Engine{Workers: 0}
 		retry     = cliflags.Retry{Retries: 1, PointDeadline: 2 * time.Minute}
 		telemetry cliflags.Telemetry
 	)
@@ -66,7 +66,7 @@ func main() {
 	opt := serve.Options{
 		DataDir:           *dataDir,
 		Workers:           engine.Workers,
-		Shards:            engine.Shards,
+		Shards:            engine.ShardCount(),
 		MaxQueuedPoints:   *maxQueued,
 		TenantMaxQueued:   *tenantQueued,
 		TenantMaxInFlight: *tenantInflight,

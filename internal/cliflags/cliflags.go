@@ -88,10 +88,22 @@ func (e *Engine) Register(fs *flag.FlagSet) {
 // (dcl1sim, dcl1trace replay) where a worker pool has nothing to divide.
 func (e *Engine) RegisterShards(fs *flag.FlagSet) {
 	fs.IntVar(&e.Shards, "shards", e.Shards,
-		"tick-execution shards inside each simulation; capped at GOMAXPROCS/workers (results are identical for any value)")
+		"tick-execution shards inside each simulation (0 = auto-size to the machine, 1 = serial; capped at GOMAXPROCS/workers; results are identical for any value)")
 }
 
-func (e *Engine) Apply(o *dcl1.HealthOptions) { o.Shards = e.Shards }
+// Apply folds the group into o. A zero -shards means auto: the run picks
+// min(GOMAXPROCS, widest clock), serial on a single-CPU host.
+func (e *Engine) Apply(o *dcl1.HealthOptions) { o.Shards = e.ShardCount() }
+
+// ShardCount returns the -shards value with 0 resolved to dcl1.ShardsAuto,
+// for commands that route the count somewhere other than HealthOptions
+// (dcl1serve hands it to its server options).
+func (e *Engine) ShardCount() int {
+	if e.Shards == 0 {
+		return dcl1.ShardsAuto
+	}
+	return e.Shards
+}
 
 // Retry is the sweep-supervisor group: -retries and -point-deadline.
 type Retry struct {

@@ -39,10 +39,16 @@ type HealthOptions struct {
 	// knob exists for the equivalence tests and before/after benchmarking.
 	NoPool bool
 	// Shards spreads each clock edge's component ticks across this many
-	// worker shards (<= 1 means serial, the default). The two-phase port
-	// contract makes results bit-identical at every shard count; the knob
-	// trades goroutines for wall-clock speed on saturated runs.
+	// worker shards (<= 1 means serial, the default; ShardsAuto sizes the
+	// worker set to the machine). The two-phase port contract makes results
+	// bit-identical at every shard count; the knob trades goroutines for
+	// wall-clock speed on saturated runs.
 	Shards int
+	// StridedPlacement switches shard placement back to the legacy strided
+	// (i mod n) partition instead of the locality-aware plan. Results are
+	// bit-identical either way; the knob exists for equivalence tests and
+	// before/after benchmarks.
+	StridedPlacement bool
 	// Chaos, when non-nil, arms deterministic fault injection on every
 	// component before the run starts (see InstallChaos and the chaos
 	// package). The fault schedule is a pure function of the spec, so a
@@ -259,7 +265,10 @@ func (s *System) RunChecked(opts HealthOptions) (r Results, err error) {
 	if opts.LegacyTick {
 		s.Eng.SetFastPath(false)
 	}
-	if opts.Shards > 1 {
+	if opts.StridedPlacement {
+		s.SetStridedPlacement(true)
+	}
+	if opts.Shards > 1 || opts.Shards == ShardsAuto {
 		s.SetShards(opts.Shards)
 	}
 	if opts.Chaos != nil {

@@ -214,6 +214,10 @@ func (s *System) InstallTelemetry(opts metrics.Options, cap *power.CapSpec) erro
 	if s.gov != nil {
 		col.OnSample(func(int64) { s.gov.step() })
 	}
+	// The snapshot walk fans out across the engine's shard workers when the
+	// run is sharded (each worker fills a disjoint stride of the batch) and
+	// degrades to a serial walk otherwise; the batch is identical either way.
+	col.SetSharder(s.CoreClk)
 	s.collector = col
 	s.CoreClk.Register(col)
 	s.CoreClk.OnBarrier(col.Fold)

@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"reflect"
+	"runtime"
 	"testing"
 
 	"dcl1sim/internal/trace"
@@ -118,6 +119,97 @@ func TestShardEquivalenceChecked(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial, sharded) {
 		t.Errorf("checked sharded run diverged:\nsharded: %+v\nserial:  %+v", sharded, serial)
+	}
+}
+
+// TestShardEquivalenceStridedPlacement pins the locality-aware partitioner
+// against the legacy strided (i mod n) oracle: for every design kind, a run
+// placed by locality groups and a run placed by stride must both be
+// byte-identical to serial. Placement chooses where a tick runs, never what
+// it computes.
+func TestShardEquivalenceStridedPlacement(t *testing.T) {
+	app, ok := workload.ByName("C-NN")
+	if !ok {
+		t.Fatal("unknown app C-NN")
+	}
+	cfg := quiesceCfg()
+	for _, d := range quiesceDesigns() {
+		d := d
+		t.Run(d.Name(), func(t *testing.T) {
+			t.Parallel()
+			serial := runWithShards(t, cfg, d, app, 1)
+			for _, n := range []int{2, 8} {
+				locality := runWithShards(t, cfg, d, app, n)
+				if !reflect.DeepEqual(locality, serial) {
+					t.Errorf("locality placement shards=%d diverged from serial:\ngot:  %+v\nwant: %+v", n, locality, serial)
+				}
+				s := NewSystem(cfg, d, app)
+				s.SetStridedPlacement(true)
+				s.SetShards(n)
+				if strided := s.Run(); !reflect.DeepEqual(strided, serial) {
+					t.Errorf("strided placement shards=%d diverged from serial:\ngot:  %+v\nwant: %+v", n, strided, serial)
+				}
+			}
+		})
+	}
+}
+
+// TestShardPlacementPureFunctionOfDesign checks that shard placement depends
+// only on the configuration and design: two systems built from the same spec
+// partition every clock domain identically.
+func TestShardPlacementPureFunctionOfDesign(t *testing.T) {
+	app, _ := workload.ByName("T-AlexNet")
+	cfg := quiesceCfg()
+	for _, d := range quiesceDesigns() {
+		s1 := NewSystem(cfg, d, app)
+		s2 := NewSystem(cfg, d, app)
+		clocks1 := s1.Eng.Clocks()
+		clocks2 := s2.Eng.Clocks()
+		if len(clocks1) != len(clocks2) {
+			t.Fatalf("%s: clock count differs", d.Name())
+		}
+		for i := range clocks1 {
+			for _, n := range []int{2, 4, 8} {
+				p1 := clocks1[i].Placement(n, false)
+				p2 := clocks2[i].Placement(n, false)
+				if !reflect.DeepEqual(p1, p2) {
+					t.Errorf("%s: clock %s shards=%d placed differently across identical builds",
+						d.Name(), clocks1[i].Name(), n)
+				}
+			}
+		}
+	}
+}
+
+// TestShardsAutoResolution covers the -shards 0 satellite: ShardsAuto
+// resolves to min(GOMAXPROCS, widest clock) — never below 1 — and an
+// auto-sharded checked run stays bit-identical to serial.
+func TestShardsAutoResolution(t *testing.T) {
+	app, _ := workload.ByName("T-AlexNet")
+	cfg := quiesceCfg()
+	d := Design{Kind: Shared, DCL1s: 8}
+	s := NewSystem(cfg, d, app)
+	s.SetShards(ShardsAuto)
+	want := runtime.GOMAXPROCS(0)
+	if w := s.Eng.MaxClockComponents(); w < want {
+		want = w
+	}
+	if want < 1 {
+		want = 1
+	}
+	if got := s.Shards(); got != want {
+		t.Fatalf("auto shards resolved to %d, want %d", got, want)
+	}
+	serial, err := RunChecked(cfg, d, app, HealthOptions{})
+	if err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	auto, err := RunChecked(cfg, d, app, HealthOptions{Shards: ShardsAuto})
+	if err != nil {
+		t.Fatalf("auto-sharded run: %v", err)
+	}
+	if !reflect.DeepEqual(auto, serial) {
+		t.Errorf("auto-sharded run diverged from serial:\ngot:  %+v\nwant: %+v", auto, serial)
 	}
 }
 

@@ -77,12 +77,12 @@ func RunManyChecked(jobs []Job, workers int, opts HealthOptions) (out []Results,
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	if opts.Shards > 1 && workers > 0 {
+	if (opts.Shards > 1 || opts.Shards == ShardsAuto) && workers > 0 {
 		per := runtime.GOMAXPROCS(0) / workers
 		if per < 1 {
 			per = 1
 		}
-		if opts.Shards > per {
+		if opts.Shards == ShardsAuto || opts.Shards > per {
 			opts.Shards = per
 		}
 	}

@@ -35,6 +35,14 @@ type SinkFunc func(b *Batch)
 // Emit calls f.
 func (f SinkFunc) Emit(b *Batch) { f(b) }
 
+// Sharder runs a function once per execution shard, concurrently when the
+// caller has shard workers and serially (f(0, 1)) otherwise. *sim.Clock
+// implements it: from a barrier task the engine's shard workers execute f in
+// parallel, which is how the collector spreads the registry walk.
+type Sharder interface {
+	RunSharded(f func(shard, shards int))
+}
+
 // Collector samples a registry at fixed cycle intervals. It is registered on
 // the core clock as a ticker whose NextWorkCycle is the next sample point,
 // which bounds the engine's idle fast-forward so sample cycles are never
@@ -56,6 +64,7 @@ type Collector struct {
 	pending bool
 	at      int64 // cycle the pending sample was marked on
 	batch   Batch
+	sharder Sharder
 }
 
 // NewCollector builds a collector over reg. design and app label every
@@ -79,6 +88,12 @@ func (c *Collector) SetTimeFunc(fn func(cycle int64) int64) { c.timeOf = fn }
 // OnSample registers a hook to run at each sample point before the registry
 // is read. Hooks run serially on the engine goroutine.
 func (c *Collector) OnSample(fn func(cycle int64)) { c.hooks = append(c.hooks, fn) }
+
+// SetSharder installs the shard fan-out used to fill snapshot batches. With a
+// sharder the registry walk is split across the engine's shard workers
+// (partial strided fills folded into one batch at the barrier); without one
+// it stays a serial walk. The resulting batch is identical either way.
+func (c *Collector) SetSharder(s Sharder) { c.sharder = s }
 
 // Tick marks the sample pending when the clock reaches the next sample
 // cycle. It runs inside the edge (possibly on a shard goroutine, but the
@@ -121,7 +136,14 @@ func (c *Collector) emit(cycle, timePs int64, final bool) {
 	if c.sink == nil {
 		return
 	}
-	c.reg.Sample(&c.batch)
+	if c.sharder != nil {
+		c.reg.PrepareSample(&c.batch)
+		c.sharder.RunSharded(func(shard, shards int) {
+			c.reg.SampleShard(&c.batch, shard, shards)
+		})
+	} else {
+		c.reg.Sample(&c.batch)
+	}
 	c.batch.Cycle = cycle
 	c.batch.TimePs = timePs
 	c.batch.Final = final

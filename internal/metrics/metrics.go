@@ -117,6 +117,12 @@ func (s *Series) ID() string { return s.id }
 type Registry struct {
 	series []*Series
 	ids    map[string]struct{}
+
+	// byName indexes series by family name, built lazily on the first family
+	// query and invalidated by add. It turns the end-of-run collect walk (a
+	// few dozen family queries) from O(families × series) into O(series +
+	// touched members).
+	byName map[string][]*Series
 }
 
 // NewRegistry returns an empty registry.
@@ -131,6 +137,18 @@ func (r *Registry) add(s *Series) {
 	}
 	r.ids[s.id] = struct{}{}
 	r.series = append(r.series, s)
+	r.byName = nil
+}
+
+// family returns the series registered under name, in registration order.
+func (r *Registry) family(name string) []*Series {
+	if r.byName == nil {
+		r.byName = make(map[string][]*Series)
+		for _, s := range r.series {
+			r.byName[s.Name] = append(r.byName[s.Name], s)
+		}
+	}
+	return r.byName[name]
 }
 
 // Counter registers a cumulative counter sampled through fn.
@@ -158,8 +176,8 @@ func (r *Registry) Series() []*Series { return r.series }
 // Total sums every counter registered under the family name.
 func (r *Registry) Total(name string) int64 {
 	var sum int64
-	for _, s := range r.series {
-		if s.Name == name && s.Kind == KindCounter {
+	for _, s := range r.family(name) {
+		if s.Kind == KindCounter {
 			sum += s.Int()
 		}
 	}
@@ -171,8 +189,8 @@ func (r *Registry) Total(name string) int64 {
 // end-of-run views, not sampling paths.
 func (r *Registry) Ints(name string) []int64 {
 	var out []int64
-	for _, s := range r.series {
-		if s.Name == name && s.Kind == KindCounter {
+	for _, s := range r.family(name) {
+		if s.Kind == KindCounter {
 			out = append(out, s.Int())
 		}
 	}
@@ -183,8 +201,8 @@ func (r *Registry) Ints(name string) []int64 {
 // when the family is empty.
 func (r *Registry) GaugeMax(name string) float64 {
 	m := 0.0
-	for _, s := range r.series {
-		if s.Name == name && s.Kind == KindGauge {
+	for _, s := range r.family(name) {
+		if s.Kind == KindGauge {
 			if v := s.Float(); v > m {
 				m = v
 			}
@@ -196,8 +214,8 @@ func (r *Registry) GaugeMax(name string) float64 {
 // MergedHistogram folds every histogram family member into one distribution.
 func (r *Registry) MergedHistogram(name string) stats.Histogram {
 	var h stats.Histogram
-	for _, s := range r.series {
-		if s.Name == name && s.Kind == KindHistogram {
+	for _, s := range r.family(name) {
+		if s.Kind == KindHistogram {
 			h.Merge(s.Hist)
 		}
 	}
@@ -208,11 +226,29 @@ func (r *Registry) MergedHistogram(name string) stats.Histogram {
 // and must not hold references across calls. Sample runs only on the engine
 // goroutine (barrier context), so it takes no locks.
 func (r *Registry) Sample(b *Batch) {
+	r.PrepareSample(b)
+	r.SampleShard(b, 0, 1)
+}
+
+// PrepareSample sizes b's buffers for one full snapshot without evaluating
+// any series. It must run once (serially) before SampleShard calls.
+func (r *Registry) PrepareSample(b *Batch) {
 	if cap(b.Samples) < len(r.series) {
 		b.Samples = make([]Sample, len(r.series))
 	}
 	b.Samples = b.Samples[:len(r.series)]
-	for i, s := range r.series {
+}
+
+// SampleShard evaluates the series at indices shard, shard+n, shard+2n, ...
+// into a batch prepared by PrepareSample. Disjoint shards touch disjoint
+// batch slots and disjoint series closures (each closure reads only its own
+// component's fields), so n calls with distinct shard values may run
+// concurrently — that is how the collector folds a snapshot across the
+// engine's shard workers. The filled batch is identical to Sample's for any
+// n.
+func (r *Registry) SampleShard(b *Batch, shard, n int) {
+	for i := shard; i < len(r.series); i += n {
+		s := r.series[i]
 		out := &b.Samples[i]
 		out.ID = s.id
 		out.Kind = s.Kind

@@ -234,8 +234,20 @@ func (x *Crossbar) CanInject(in, out int) bool {
 // wiring audit) and moves the credit-grant application to clk's edge
 // barrier, where it cannot race with producer-side credit increments.
 func (x *Crossbar) AttachPorts(clk *sim.Clock) {
-	for _, p := range x.inj {
-		p.Attach(clk)
+	x.AttachPortsGrouped(clk, nil)
+}
+
+// AttachPortsGrouped is AttachPorts with shard-locality groups: groupOf(in)
+// names the locality group of input in's producer (the pump staging into
+// inj[in]), so the shard that stages a packet also commits it. A nil groupOf
+// or a negative group leaves that port ungrouped.
+func (x *Crossbar) AttachPortsGrouped(clk *sim.Clock, groupOf func(in int) int) {
+	for in, p := range x.inj {
+		g := -1
+		if groupOf != nil {
+			g = groupOf(in)
+		}
+		p.AttachGrouped(clk, g)
 	}
 	x.attached = true
 	clk.OnBarrier(x.applyCredits)

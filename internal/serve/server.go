@@ -52,8 +52,9 @@ type Options struct {
 	// PointDeadline folds into it per point, tighter wins.
 	Deadline time.Duration
 	// Shards spreads each simulation's clock edges across this many worker
-	// shards (<= 1 serial). Results are bit-identical at every shard count;
-	// size Workers × Shards against the host's cores.
+	// shards (<= 1 serial; gpu.ShardsAuto resolves to GOMAXPROCS/Workers so
+	// the pool's total goroutine demand stays near the host's cores).
+	// Results are bit-identical at every shard count.
 	Shards int
 	// MetricsEvery, when > 0, attaches live metrics collection to every
 	// fresh point: the registry is snapshotted every MetricsEvery core
@@ -69,6 +70,12 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Shards == gpu.ShardsAuto {
+		o.Shards = runtime.GOMAXPROCS(0) / o.Workers
+		if o.Shards < 1 {
+			o.Shards = 1
+		}
 	}
 	if o.MaxQueuedPoints <= 0 {
 		o.MaxQueuedPoints = 4096

@@ -85,6 +85,19 @@ type Clock struct {
 	cycle Cycle
 	comps []Ticker
 
+	// Locality groups, parallel to comps/ports (-1 = ungrouped), and the
+	// cached shard partition built from them (see placement.go). lastTicked
+	// is the previous eval edge's productive tick count, the predictor the
+	// dispatch-threshold uses to keep light edges serial; -1 until known.
+	groups     []int
+	portGroups []int
+	plan       *shardPlan
+	lastTicked int
+
+	// curEx is the engine's executor while this clock's barrier tasks run,
+	// so RunSharded can borrow the idle pool; nil outside barriers.
+	curEx *executor
+
 	// Quiescence fast path (see Sleeper). sleepers/skippers parallel comps;
 	// a nil entry means the component never sleeps / needs no compensation.
 	sleepers    []Sleeper
@@ -113,6 +126,12 @@ type Clock struct {
 // re-evaluating its sleepers.
 const busyBackoff = 8
 
+// shardWorkMin is the minimum productive ticks *per shard* (predicted from
+// the previous eval edge) below which an edge is not worth dispatching: a
+// near-idle edge on a big clock is a snapshot refresh plus a handful of
+// ticks, and a serial pass beats waking n-1 workers for it.
+const shardWorkMin = 4
+
 // Name returns the clock's name.
 func (c *Clock) Name() string { return c.name }
 
@@ -126,10 +145,18 @@ func (c *Clock) Now() Cycle { return c.cycle }
 // tick. Exact: edge k happens at floor(k * 1e6 / mhz) ps.
 func (c *Clock) nextEdgePs() int64 { return c.cycle * 1_000_000 / c.mhz }
 
-// Register adds a component to this clock domain. Components tick in the
-// order they were registered.
-func (c *Clock) Register(t Ticker) {
+// Register adds a component to this clock domain with no locality group.
+// Components tick in the order they were registered.
+func (c *Clock) Register(t Ticker) { c.RegisterGrouped(t, -1) }
+
+// RegisterGrouped adds a component to this clock domain under a locality
+// group: components sharing a group (and the ports attached under it) are
+// placed on the same shard, keeping tightly coupled producer/consumer pairs
+// in one worker's cache. Group ids are arbitrary; a negative group means
+// ungrouped (a singleton). Grouping never affects results — see placement.go.
+func (c *Clock) RegisterGrouped(t Ticker, group int) {
 	c.comps = append(c.comps, t)
+	c.groups = append(c.groups, group)
 	s, _ := t.(Sleeper)
 	k, _ := t.(IdleSkipper)
 	c.sleepers = append(c.sleepers, s)
@@ -138,7 +165,11 @@ func (c *Clock) Register(t Ticker) {
 		c.numSleepers++
 	}
 	c.idle = false
+	c.plan = nil
 }
+
+// Components returns how many components are registered on this clock.
+func (c *Clock) Components() int { return len(c.comps) }
 
 // OnBarrier registers f to run at the end of every edge this clock
 // processes, after the clock's ports have committed. Barrier tasks run
@@ -149,25 +180,47 @@ func (c *Clock) OnBarrier(f func()) {
 	c.barriers = append(c.barriers, f)
 }
 
-// commit runs this clock's edge barrier: publish every attached port's
-// staged pushes, then run the barrier tasks. The commit must run on every
-// processed edge — even one where no component ticked — because consumers on
-// other clocks may have drained a port since the last barrier and the
-// producer-side occupancy snapshot has to be refreshed on the same schedule
-// regardless of fast path or shard count. Edges skipped wholesale by the
-// quiescence fast-forward need no commit: nothing ticks anywhere during an
-// all-idle stretch, so no port can change.
-func (c *Clock) commit(ex *executor) {
-	if ex != nil && len(c.ports) >= 2*ex.n {
-		ex.commitPorts(c)
-	} else {
-		for _, p := range c.ports {
-			p.commitEdge()
-		}
+// commitSerial publishes every attached port's staged pushes on the engine
+// goroutine. The commit must run on every processed edge — even one where no
+// component ticked — because consumers on other clocks may have drained a
+// port since the last barrier and the producer-side occupancy snapshot has
+// to be refreshed on the same schedule regardless of fast path or shard
+// count. On dispatched edges the shards commit their own ports inside the
+// same dispatch instead (fused with the eval phase). Edges skipped wholesale
+// by the quiescence fast-forward need no commit: nothing ticks anywhere
+// during an all-idle stretch, so no port can change.
+func (c *Clock) commitSerial() {
+	for _, p := range c.ports {
+		p.commitEdge()
 	}
+}
+
+// runBarriers runs the clock's barrier tasks, serially and in registration
+// order, after the edge's port commits. ex (possibly nil) is the engine's
+// executor, idle at this point, lent to barrier tasks through RunSharded.
+func (c *Clock) runBarriers(ex *executor) {
+	if len(c.barriers) == 0 {
+		return
+	}
+	c.curEx = ex
 	for _, f := range c.barriers {
 		f()
 	}
+	c.curEx = nil
+}
+
+// RunSharded runs f(shard, shards) once per shard, in parallel when called
+// from a barrier task while the engine runs sharded, serially as f(0, 1)
+// otherwise. The shard invocations must touch disjoint state; aggregation
+// across shards is the caller's (commutative) fold. This is the hook for
+// parallel stats folding: the worker pool is idle during barrier tasks, so
+// a fold borrows it for the duration of the call.
+func (c *Clock) RunSharded(f func(shard, shards int)) {
+	if ex := c.curEx; ex != nil {
+		ex.fold(f)
+		return
+	}
+	f(0, 1)
 }
 
 // tick advances the clock one edge and returns how many components actually
@@ -179,20 +232,35 @@ func (c *Clock) commit(ex *executor) {
 // edge is staged, so it cannot wake a sleeper until the next edge whether the
 // clock runs serially or sharded.
 //
-// A non-nil ex shards both phases of the edge (tick/eval, then port commit)
-// across the worker pool; small clocks stay serial, which cannot change
-// results — only the partition of identical work.
-func (c *Clock) tick(fast bool, ex *executor) int {
+// A non-nil ex shards the whole edge — eval phase, phase barrier, port
+// commits — in one dispatch across the worker pool; small clocks and edges
+// predicted too light to amortize a dispatch stay serial, which cannot
+// change results — only the partition of identical work.
+func (c *Clock) tick(fast, strided bool, ex *executor) int {
 	now := c.cycle
+	// ex stays available to barrier tasks (RunSharded) even when the edge
+	// itself runs serially; dispatchEx is what the edge uses.
+	dispatchEx := ex
 	if ex != nil && len(c.comps) < 2*ex.n {
-		ex = nil
+		dispatchEx = nil
 	}
-	if !fast || c.numSleepers < len(c.comps) || c.skipEval > 0 {
+	full := !fast || c.numSleepers < len(c.comps) || c.skipEval > 0
+	if dispatchEx != nil && !full && c.lastTicked >= 0 && c.lastTicked < dispatchEx.n*shardWorkMin {
+		// The previous eval edge ticked so few components that a dispatch
+		// costs more than it spreads; run this edge serially and let the
+		// tick count re-arm dispatching when the clock heats back up.
+		dispatchEx = nil
+	}
+	var plan *shardPlan
+	if dispatchEx != nil {
+		plan = c.planFor(dispatchEx.n, strided)
+	}
+	if full {
 		if fast && c.skipEval > 0 {
 			c.skipEval--
 		}
-		if ex != nil {
-			ex.tickAll(c, now)
+		if dispatchEx != nil {
+			dispatchEx.tickAll(c, plan, now)
 		} else {
 			for _, t := range c.comps {
 				t.Tick(now)
@@ -200,13 +268,17 @@ func (c *Clock) tick(fast bool, ex *executor) int {
 		}
 		c.cycle++
 		c.idle = false
-		c.commit(ex)
+		c.lastTicked = len(c.comps)
+		if dispatchEx == nil {
+			c.commitSerial()
+		}
+		c.runBarriers(ex)
 		return len(c.comps)
 	}
 	var ticked int
 	minWake := WakeNever
-	if ex != nil {
-		ticked, minWake = ex.tickEval(c, now)
+	if dispatchEx != nil {
+		ticked, minWake = dispatchEx.tickEval(c, plan, now)
 	} else {
 		for i, t := range c.comps {
 			w := c.sleepers[i].NextWorkCycle(now)
@@ -226,10 +298,14 @@ func (c *Clock) tick(fast bool, ex *executor) int {
 	c.cycle++
 	c.idle = ticked == 0
 	c.idleUntil = minWake
+	c.lastTicked = ticked
 	if ticked == len(c.comps) && ticked > 0 {
 		c.skipEval = busyBackoff - 1
 	}
-	c.commit(ex)
+	if dispatchEx == nil {
+		c.commitSerial()
+	}
+	c.runBarriers(ex)
 	return ticked
 }
 
@@ -252,7 +328,11 @@ type Engine struct {
 	clocks []*Clock
 	fast   bool
 	shards int
-	ex     *executor
+	// strided forces the legacy i mod n shard placement instead of the
+	// locality-group partition; a test oracle (placement cannot affect
+	// results, so the two must produce bit-identical runs).
+	strided bool
+	ex      *executor
 
 	// ctx, when non-nil, lets RunUntil abandon a long stretch early: the loop
 	// polls it every ctxPollEdges edges and simply stops advancing once it is
@@ -281,11 +361,53 @@ func (e *Engine) SetShards(n int) {
 	if n < 1 {
 		n = 1
 	}
+	if e.ex != nil && n != e.shards {
+		e.stopExecutor()
+	}
 	e.shards = n
 }
 
 // Shards returns the configured shard count.
 func (e *Engine) Shards() int { return e.shards }
+
+// SetStridedPlacement forces the legacy i mod n component→shard placement
+// instead of the locality-group partition. Placement only chooses where a
+// tick runs, never what it computes, so results are bit-identical either
+// way; this exists so tests can prove exactly that.
+func (e *Engine) SetStridedPlacement(on bool) { e.strided = on }
+
+// StridedPlacement reports whether the legacy strided placement is forced.
+func (e *Engine) StridedPlacement() bool { return e.strided }
+
+// MaxClockComponents returns the component count of the most populated
+// clock — the natural upper bound on useful shards ("auto" shard counts
+// clamp to it).
+func (e *Engine) MaxClockComponents() int {
+	m := 0
+	for _, c := range e.clocks {
+		if len(c.comps) > m {
+			m = len(c.comps)
+		}
+	}
+	return m
+}
+
+// startExecutor spins up the worker pool if sharding is configured and none
+// is running; stopExecutor tears it down. RunUntil manages the pair itself
+// for a one-shot run, while RunUntilChecked pins one executor across all its
+// watchdog slices so workers aren't respawned every CheckEvery cycles.
+func (e *Engine) startExecutor() {
+	if e.shards > 1 && e.ex == nil {
+		e.ex = newExecutor(e.shards)
+	}
+}
+
+func (e *Engine) stopExecutor() {
+	if e.ex != nil {
+		e.ex.stop()
+		e.ex = nil
+	}
+}
 
 // SetFastPath toggles the quiescence fast path: skipping components whose
 // NextWorkCycle lies in the future and bulk fast-forwarding when every
@@ -311,7 +433,7 @@ func (e *Engine) NewClock(name string, mhz int64) *Clock {
 	if mhz <= 0 {
 		panic(fmt.Sprintf("sim: clock %q frequency must be positive, got %d", name, mhz))
 	}
-	c := &Clock{name: name, mhz: mhz}
+	c := &Clock{name: name, mhz: mhz, lastTicked: -1}
 	e.clocks = append(e.clocks, c)
 	return c
 }
@@ -331,11 +453,8 @@ func (e *Engine) RunUntil(ref *Clock, cycles Cycle) {
 		panic("sim: RunUntil on engine with no clocks")
 	}
 	if e.shards > 1 && e.ex == nil && ref.cycle < cycles {
-		e.ex = newExecutor(e.shards)
-		defer func() {
-			e.ex.stop()
-			e.ex = nil
-		}()
+		e.startExecutor()
+		defer e.stopExecutor()
 	}
 	poll := 0
 	for ref.cycle < cycles {
@@ -357,7 +476,7 @@ func (e *Engine) RunUntil(ref *Clock, cycles Cycle) {
 				next, nt = c, t
 			}
 		}
-		if next.tick(e.fast, e.ex) > 0 {
+		if next.tick(e.fast, e.strided, e.ex) > 0 {
 			// A productive tick may have pushed work into any component on
 			// any clock: every cached idle verdict is stale.
 			for _, c := range e.clocks {
@@ -486,6 +605,13 @@ func (e *Engine) clockStates() []health.ClockState {
 // to RunUntil.
 func (e *Engine) RunUntilChecked(ref *Clock, cycles Cycle, opts RunOptions) error {
 	opts = opts.withDefaults()
+	// Pin one executor across all the watchdog slices: respawning the worker
+	// pool every CheckEvery cycles costs goroutine churn for nothing. The
+	// nested RunUntil calls see e.ex non-nil and leave ownership here.
+	if e.shards > 1 && ref.cycle < cycles {
+		e.startExecutor()
+		defer e.stopExecutor()
+	}
 	if opts.Ctx != nil {
 		// Arm mid-slice polling: RunUntil returns early once the context is
 		// canceled, and the slice-top check below reports the error.

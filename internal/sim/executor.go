@@ -6,34 +6,60 @@ import (
 	"sync/atomic"
 )
 
-// executor is the fixed worker pool behind sharded tick execution. Shard
-// assignment is static — component i of a clock belongs to shard i mod n —
-// so the partition of work never depends on scheduling. Workers are spawned
-// for the duration of one Engine.RunUntil and stopped on return, so an idle
-// engine holds no goroutines.
+// executor is the fixed worker pool behind sharded tick execution. Work is
+// partitioned by a shardPlan (locality groups, or strided for the legacy
+// placement), so the assignment never depends on scheduling. Workers are
+// spawned for the duration of one engine run and stopped on return, so an
+// idle engine holds no goroutines.
 //
-// Dispatch protocol: the main goroutine publishes the job parameters, bumps
-// the epoch and broadcasts under the mutex (workers park on the cond when a
-// brief spin sees no new epoch — the epoch re-check under the lock closes the
-// missed-wakeup window). Main always runs shard 0 itself, then joins on an
-// atomic completion counter. Two dispatches happen per sharded edge: the
-// tick/eval phase and the port-commit phase; barrier tasks stay serial on
-// main between edges.
+// Dispatch protocol: one dispatch covers a whole edge. The main goroutine
+// publishes the job parameters and advances the even dispatch epoch (workers
+// that spun out park on the cond; the epoch re-check under the lock closes
+// the missed-wakeup window). Every shard — main runs shard 0 in place — then
+// executes the edge's eval phase over its plan slice, crosses the internal
+// phase barrier, and commits its own ports, fusing what used to be two
+// dispatches (tick/eval + port-commit) into one epoch. Main joins on an
+// atomic completion counter with a bounded spin before parking.
+//
+// Stopping is encoded in the same epoch word: dispatches add 2, stop adds 1,
+// so a worker observes "stopped" and "new job" as one atomic read — there is
+// no window between separate epoch and stop-flag loads for a shutdown to
+// slip into (the race the old two-variable protocol had).
 type executor struct {
 	n int // shard count (worker goroutines = n-1, main runs shard 0)
 
 	mu   sync.Mutex
 	cond *sync.Cond
 
+	// epoch is the dispatch clock: even while running (each dispatch adds
+	// 2), odd forever once stopped (stop adds 1).
 	epoch atomic.Int64
-	done  atomic.Int64
-	stopf atomic.Bool
+
+	// Phase barrier between the eval and commit halves of a fused edge:
+	// a generation-counter combining barrier. The last arriver resets the
+	// count and advances the generation; the rest spin briefly on the
+	// generation before parking on gcond.
+	arrived atomic.Int64
+	gen     atomic.Int64
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+
+	// Join: workers count themselves done; main spins briefly, then
+	// publishes parked and waits on dcond. The worker that completes the
+	// epoch re-checks parked after its done increment (both seq-cst, so one
+	// side always sees the other — no lost wakeup).
+	done   atomic.Int64
+	parked atomic.Bool
+	dmu    sync.Mutex
+	dcond  *sync.Cond
 
 	// Job parameters, written by main before the epoch bump (the seq-cst
 	// epoch store orders them ahead of any worker's epoch load).
-	mode int
-	clk  *Clock
-	now  Cycle
+	mode   int
+	clk    *Clock
+	plan   *shardPlan
+	now    Cycle
+	foldFn func(shard, shards int)
 
 	// Per-shard eval results, index = shard. Joined by main after done
 	// reaches n-1; both aggregates are commutative (sum, min).
@@ -42,19 +68,22 @@ type executor struct {
 }
 
 const (
-	jobTick   = iota // full path: tick every component of the shard
-	jobEval          // fast path: NextWorkCycle gate, Tick or SkipIdle
-	jobCommit        // commit the shard's slice of the clock's ports
+	jobTick = iota // full path: tick every component of the shard, then commit
+	jobEval        // fast path: NextWorkCycle gate, Tick or SkipIdle, then commit
+	jobFold        // run foldFn(shard, n): parallel stats folding, no ports
 )
 
-// executorSpin is how many epoch polls a worker burns before parking on the
-// cond var. Edges arrive back to back while a clock is busy, so a short spin
-// usually catches the next dispatch without a futex round trip.
+// executorSpin is how many polls a worker burns before parking on a cond
+// var (dispatch epoch, phase barrier, and main's join alike). Edges arrive
+// back to back while a clock is busy, so a short spin usually catches the
+// next transition without a futex round trip.
 const executorSpin = 256
 
 func newExecutor(n int) *executor {
 	ex := &executor{n: n, ticked: make([]int, n), minWake: make([]Cycle, n)}
 	ex.cond = sync.NewCond(&ex.mu)
+	ex.gcond = sync.NewCond(&ex.gmu)
+	ex.dcond = sync.NewCond(&ex.dmu)
 	for k := 1; k < n; k++ {
 		go ex.worker(k)
 	}
@@ -65,69 +94,123 @@ func (ex *executor) worker(shard int) {
 	var last int64
 	for {
 		e := ex.await(last)
-		if e < 0 {
+		if e&1 == 1 {
 			return
 		}
 		last = e
 		ex.exec(shard)
-		ex.done.Add(1)
+		ex.finishShard()
 	}
 }
 
-// await blocks until the dispatch epoch moves past last; returns the new
-// epoch, or -1 when the executor has been stopped.
+// await blocks until the epoch moves past last and returns the new value;
+// an odd epoch means the executor has been stopped.
 func (ex *executor) await(last int64) int64 {
 	for i := 0; i < executorSpin; i++ {
 		if e := ex.epoch.Load(); e != last {
-			if ex.stopf.Load() {
-				return -1
-			}
 			return e
 		}
 		runtime.Gosched()
 	}
 	ex.mu.Lock()
-	for ex.epoch.Load() == last {
-		ex.cond.Wait()
-	}
 	e := ex.epoch.Load()
-	ex.mu.Unlock()
-	if ex.stopf.Load() {
-		return -1
+	for e == last {
+		ex.cond.Wait()
+		e = ex.epoch.Load()
 	}
+	ex.mu.Unlock()
 	return e
+}
+
+// finishShard counts this shard's epoch complete and wakes main if it
+// parked. done.Add and parked.Load are both seq-cst, as are main's
+// parked.Store and done.Load: whichever side runs second sees the other, so
+// either main never parks or the completing worker takes dmu (which main
+// holds across its recheck) and broadcasts.
+func (ex *executor) finishShard() {
+	if ex.done.Add(1) >= int64(ex.n-1) && ex.parked.Load() {
+		ex.dmu.Lock()
+		ex.dcond.Broadcast()
+		ex.dmu.Unlock()
+	}
+}
+
+// join blocks main until every worker finished the current epoch.
+func (ex *executor) join() {
+	target := int64(ex.n - 1)
+	for i := 0; i < executorSpin; i++ {
+		if ex.done.Load() >= target {
+			return
+		}
+		runtime.Gosched()
+	}
+	ex.parked.Store(true)
+	ex.dmu.Lock()
+	for ex.done.Load() < target {
+		ex.dcond.Wait()
+	}
+	ex.dmu.Unlock()
+	ex.parked.Store(false)
+}
+
+// phaseBarrier separates the eval and commit phases of a fused edge: no
+// shard may commit ports until every shard has finished evaluating, because
+// eval reads committed port state that commit overwrites. All n shards
+// (main included) pass through it once per tick/eval dispatch.
+func (ex *executor) phaseBarrier() {
+	g := ex.gen.Load()
+	if ex.arrived.Add(1) == int64(ex.n) {
+		// Last arriver: reset for the next barrier, then release. The reset
+		// happens-before any next-barrier arrival, which requires the next
+		// dispatch, which requires this epoch's join.
+		ex.arrived.Store(0)
+		ex.gmu.Lock()
+		ex.gen.Add(1)
+		ex.gcond.Broadcast()
+		ex.gmu.Unlock()
+		return
+	}
+	for i := 0; i < executorSpin; i++ {
+		if ex.gen.Load() != g {
+			return
+		}
+		runtime.Gosched()
+	}
+	ex.gmu.Lock()
+	for ex.gen.Load() == g {
+		ex.gcond.Wait()
+	}
+	ex.gmu.Unlock()
 }
 
 // dispatch runs one job across all shards and returns after every shard has
 // finished. Main executes shard 0 in place.
-func (ex *executor) dispatch(mode int, c *Clock, now Cycle) {
-	ex.mode, ex.clk, ex.now = mode, c, now
+func (ex *executor) dispatch(mode int, c *Clock, plan *shardPlan, now Cycle) {
+	ex.mode, ex.clk, ex.plan, ex.now = mode, c, plan, now
 	ex.done.Store(0)
 	ex.mu.Lock()
-	ex.epoch.Add(1)
+	ex.epoch.Add(2)
 	ex.cond.Broadcast()
 	ex.mu.Unlock()
 	ex.exec(0)
-	for ex.done.Load() < int64(ex.n-1) {
-		runtime.Gosched()
-	}
+	ex.join()
 }
 
-// exec runs the current job for one shard. During jobTick/jobEval a shard
-// only reads committed port state and writes component-private state plus
-// its own ports' staged slices; during jobCommit each port belongs to
+// exec runs the current job for one shard. During the eval half a shard only
+// reads committed port state and writes component-private state plus its own
+// ports' staged slices; after the phase barrier each port is committed by
 // exactly one shard. No two shards ever touch the same memory in a phase.
 func (ex *executor) exec(shard int) {
-	c, now, n := ex.clk, ex.now, ex.n
+	c, plan, now := ex.clk, ex.plan, ex.now
 	switch ex.mode {
 	case jobTick:
-		for i := shard; i < len(c.comps); i += n {
+		for _, i := range plan.comps[shard] {
 			c.comps[i].Tick(now)
 		}
 	case jobEval:
 		ticked := 0
 		minWake := WakeNever
-		for i := shard; i < len(c.comps); i += n {
+		for _, i := range plan.comps[shard] {
 			w := c.sleepers[i].NextWorkCycle(now)
 			if w <= now {
 				c.comps[i].Tick(now)
@@ -142,23 +225,28 @@ func (ex *executor) exec(shard int) {
 			}
 		}
 		ex.ticked[shard], ex.minWake[shard] = ticked, minWake
-	case jobCommit:
-		for i := shard; i < len(c.ports); i += n {
-			c.ports[i].commitEdge()
-		}
+	case jobFold:
+		ex.foldFn(shard, ex.n)
+		return
+	}
+	ex.phaseBarrier()
+	for _, i := range plan.ports[shard] {
+		c.ports[i].commitEdge()
 	}
 }
 
-// tickAll runs the full-tick path sharded.
-func (ex *executor) tickAll(c *Clock, now Cycle) {
-	ex.dispatch(jobTick, c, now)
+// tickAll runs the full-tick path sharded, ports committed in the same
+// dispatch after the phase barrier.
+func (ex *executor) tickAll(c *Clock, plan *shardPlan, now Cycle) {
+	ex.dispatch(jobTick, c, plan, now)
 }
 
 // tickEval runs the sleeper-gated path sharded and folds the per-shard
 // results: total ticked is a sum and the earliest wake a min, so the fold is
-// independent of shard count and completion order.
-func (ex *executor) tickEval(c *Clock, now Cycle) (int, Cycle) {
-	ex.dispatch(jobEval, c, now)
+// independent of shard count and completion order. Ports commit in the same
+// dispatch after the phase barrier.
+func (ex *executor) tickEval(c *Clock, plan *shardPlan, now Cycle) (int, Cycle) {
+	ex.dispatch(jobEval, c, plan, now)
 	ticked := 0
 	minWake := WakeNever
 	for k := 0; k < ex.n; k++ {
@@ -170,16 +258,18 @@ func (ex *executor) tickEval(c *Clock, now Cycle) (int, Cycle) {
 	return ticked, minWake
 }
 
-// commitPorts commits the clock's ports sharded (port i handled by shard
-// i mod n; commits on distinct ports are independent).
-func (ex *executor) commitPorts(c *Clock) {
-	ex.dispatch(jobCommit, c, 0)
+// fold runs f once per shard across the pool (main runs shard 0). f's shard
+// invocations must touch disjoint state; used for parallel stats folding
+// from barrier tasks, where the pool is otherwise idle.
+func (ex *executor) fold(f func(shard, shards int)) {
+	ex.foldFn = f
+	ex.dispatch(jobFold, nil, nil, 0)
+	ex.foldFn = nil
 }
 
-// stop terminates the worker goroutines. Must not be called concurrently
-// with dispatch.
+// stop terminates the worker goroutines by making the epoch odd. Must not be
+// called concurrently with dispatch.
 func (ex *executor) stop() {
-	ex.stopf.Store(true)
 	ex.mu.Lock()
 	ex.epoch.Add(1)
 	ex.cond.Broadcast()

@@ -46,16 +46,24 @@ type portCommitter interface {
 }
 
 // Attach switches the port to two-phase mode and registers its commit at c's
-// edge barrier. c must be the clock of the port's producer: staged values
-// become visible to the consumer after the producer's edge completes.
-// Attaching twice is a wiring bug.
-func (p *Port[T]) Attach(c *Clock) {
+// edge barrier, with no locality group. c must be the clock of the port's
+// producer: staged values become visible to the consumer after the
+// producer's edge completes. Attaching twice is a wiring bug.
+func (p *Port[T]) Attach(c *Clock) { p.AttachGrouped(c, -1) }
+
+// AttachGrouped is Attach under a locality group (see Clock.RegisterGrouped):
+// the shard that owns the group — normally the producer's — also commits the
+// port, so the staged slice never migrates between workers. A negative group
+// means ungrouped; grouping never affects results.
+func (p *Port[T]) AttachGrouped(c *Clock, group int) {
 	if p.twoPhase {
 		panic("sim: Port attached twice")
 	}
 	p.twoPhase = true
 	p.snap = p.size
 	c.ports = append(c.ports, p)
+	c.portGroups = append(c.portGroups, group)
+	c.plan = nil
 }
 
 // Attached reports whether the port is in two-phase mode.

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// groupedClock builds a clock with a mix of grouped and ungrouped components
+// and ports: 8 groups of 3 components each, 4 ungrouped components, one
+// grouped port per group plus 3 ungrouped ports.
+func groupedClock() (*Engine, *Clock) {
+	e := NewEngine()
+	c := e.NewClock("core", 1000)
+	for g := 0; g < 8; g++ {
+		for k := 0; k < 3; k++ {
+			c.RegisterGrouped(TickFunc(func(Cycle) {}), g)
+		}
+		NewPort[int](4).AttachGrouped(c, g)
+	}
+	for i := 0; i < 4; i++ {
+		c.Register(TickFunc(func(Cycle) {}))
+		NewPort[int](4).Attach(c)
+	}
+	return e, c
+}
+
+// TestShardPlacementExactlyOnce checks the partition invariants at every
+// shard count: each component and each port index appears on exactly one
+// shard, and a locality group's components all land on the same shard, with
+// the group's ports alongside them.
+func TestShardPlacementExactlyOnce(t *testing.T) {
+	_, c := groupedClock()
+	for n := 1; n <= 9; n++ {
+		pl := c.Placement(n, false)
+		if pl.Shards != n {
+			t.Fatalf("n=%d: Shards = %d", n, pl.Shards)
+		}
+		compShard := make(map[int]int)
+		for s, idxs := range pl.Comps {
+			for _, i := range idxs {
+				if prev, dup := compShard[i]; dup {
+					t.Fatalf("n=%d: component %d on shards %d and %d", n, i, prev, s)
+				}
+				compShard[i] = s
+			}
+		}
+		if len(compShard) != c.Components() {
+			t.Fatalf("n=%d: %d of %d components placed", n, len(compShard), c.Components())
+		}
+		portShard := make(map[int]int)
+		for s, idxs := range pl.Ports {
+			for _, i := range idxs {
+				if prev, dup := portShard[i]; dup {
+					t.Fatalf("n=%d: port %d on shards %d and %d", n, i, prev, s)
+				}
+				portShard[i] = s
+			}
+		}
+		if len(portShard) != len(c.ports) {
+			t.Fatalf("n=%d: %d of %d ports placed", n, len(portShard), len(c.ports))
+		}
+		// Group co-location: components sharing a group share a shard, and the
+		// group's port is committed by that same shard.
+		for i, g := range c.groups {
+			if g < 0 {
+				continue
+			}
+			for j, h := range c.groups {
+				if h == g && compShard[i] != compShard[j] {
+					t.Fatalf("n=%d: group %d split across shards %d and %d", n, g, compShard[i], compShard[j])
+				}
+			}
+			for pi, pg := range c.portGroups {
+				if pg == g && portShard[pi] != compShard[i] {
+					t.Fatalf("n=%d: group %d port %d on shard %d, components on %d",
+						n, g, pi, portShard[pi], compShard[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardPlacementPure checks that placement is a pure function of the
+// registration sequence: two identically built clocks produce identical
+// placements, and repeated queries on one clock are stable.
+func TestShardPlacementPure(t *testing.T) {
+	_, c1 := groupedClock()
+	_, c2 := groupedClock()
+	for n := 1; n <= 8; n *= 2 {
+		p1, p2 := c1.Placement(n, false), c2.Placement(n, false)
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("n=%d: identical clocks placed differently:\n%+v\n%+v", n, p1, p2)
+		}
+		if again := c1.Placement(n, false); !reflect.DeepEqual(p1, again) {
+			t.Fatalf("n=%d: repeated query unstable", n)
+		}
+	}
+}
+
+// TestShardPlacementStridedOracle checks the legacy strided mode stays the
+// exact i mod n partition, ignoring locality groups.
+func TestShardPlacementStridedOracle(t *testing.T) {
+	_, c := groupedClock()
+	for n := 1; n <= 5; n++ {
+		pl := c.Placement(n, true)
+		for s := 0; s < n; s++ {
+			for _, i := range pl.Comps[s] {
+				if i%n != s {
+					t.Fatalf("n=%d: strided comp %d on shard %d", n, i, s)
+				}
+			}
+			for _, i := range pl.Ports[s] {
+				if i%n != s {
+					t.Fatalf("n=%d: strided port %d on shard %d", n, i, s)
+				}
+			}
+		}
+	}
+}
+
+// TestShardExecutorStartStopHammer is the regression test for the executor
+// shutdown race: stop() used to publish the stop flag separately from the
+// epoch counter, leaving a window where a worker between the two loads missed
+// the signal. Stop is now a parity bit on the epoch itself, so start/stop
+// cycles — with and without interleaved dispatches — must be clean under the
+// race detector.
+func TestShardExecutorStartStopHammer(t *testing.T) {
+	// Bare start/stop: workers park in await and must all see the odd epoch.
+	for i := 0; i < 300; i++ {
+		ex := newExecutor(8)
+		ex.stop()
+	}
+	// Start/dispatch/stop under a real engine: enough components that edges
+	// actually fan out (past the small-clock and min-work thresholds).
+	e := NewEngine()
+	c := e.NewClock("core", 1000)
+	counts := make([]int64, 64)
+	for i := range counts {
+		i := i
+		c.Register(TickFunc(func(Cycle) { counts[i]++ }))
+	}
+	var want int64
+	for iter := 0; iter < 40; iter++ {
+		e.SetShards(2 + iter%7)
+		e.RunUntil(c, c.Now()+5)
+		want += 5
+	}
+	for i, got := range counts {
+		if got != want {
+			t.Fatalf("component %d ticked %d times, want %d", i, got, want)
+		}
+	}
+}
+
+// TestShardRunSharded checks the stats-folding fan-out: from a barrier task
+// of a sharded engine, RunSharded must call f exactly once per shard (on the
+// executor's workers), and without an executor it degrades to f(0, 1).
+func TestShardRunSharded(t *testing.T) {
+	e := NewEngine()
+	c := e.NewClock("core", 1000)
+	for i := 0; i < 64; i++ {
+		c.Register(TickFunc(func(Cycle) {}))
+	}
+	const shards = 4
+	e.SetShards(shards)
+	calls := make([]int32, shards)
+	var width int32
+	c.OnBarrier(func() {
+		c.RunSharded(func(shard, n int) {
+			atomic.AddInt32(&calls[shard], 1)
+			atomic.StoreInt32(&width, int32(n))
+		})
+	})
+	e.RunUntil(c, 10)
+	if width != shards {
+		t.Fatalf("RunSharded width = %d, want %d", width, shards)
+	}
+	for s, got := range calls {
+		if got != 10 {
+			t.Fatalf("shard %d folded %d times, want 10 (one per barrier)", s, got)
+		}
+	}
+
+	// Outside any engine run there is no executor: serial degradation.
+	var serial []int
+	c.RunSharded(func(shard, n int) { serial = append(serial, shard, n) })
+	if len(serial) != 2 || serial[0] != 0 || serial[1] != 1 {
+		t.Fatalf("serial RunSharded = %v, want [0 1]", serial)
+	}
+}
