@@ -26,10 +26,12 @@ func main() {
 		health    cliflags.Health
 		engine    cliflags.Engine
 		telemetry cliflags.Telemetry
+		multi     cliflags.Multi
 	)
 	health.Register(flag.CommandLine)
 	engine.RegisterShards(flag.CommandLine)
 	telemetry.Register(flag.CommandLine)
+	multi.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *appName == "" {
@@ -70,7 +72,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		r, err := dcl1.Run(dcl1.Config{}, dcl1.Design{Kind: dcl1.Baseline}, a, dcl1.WithHealth(h))
+		d := dcl1.Design{Kind: dcl1.Baseline}
+		if err := multi.ApplyDesign(&d); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		r, err := dcl1.Run(dcl1.Config{}, d, a, dcl1.WithHealth(h))
 		if serr := closeSink(); serr != nil {
 			fmt.Fprintf(os.Stderr, "metrics sink: %v\n", serr)
 		}

@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"dcl1sim"
 	"dcl1sim/internal/cliflags"
 	"dcl1sim/internal/experiments"
 )
@@ -47,6 +48,7 @@ func main() {
 		retry     cliflags.Retry
 		journal   cliflags.Journal
 		telemetry cliflags.Telemetry
+		multi     cliflags.Multi
 	)
 	health.Register(flag.CommandLine)
 	chaos.Register(flag.CommandLine)
@@ -54,6 +56,7 @@ func main() {
 	retry.Register(flag.CommandLine)
 	journal.Register(flag.CommandLine)
 	telemetry.Register(flag.CommandLine)
+	multi.Register(flag.CommandLine)
 	flag.Parse()
 
 	finishProfiles := startProfiles(*cpuprofile, *memprofile)
@@ -87,6 +90,20 @@ func main() {
 	}
 	if *verbose {
 		ctx.Progress = os.Stderr
+	}
+	if multi != (cliflags.Multi{}) {
+		// Validate the flag combination once against a bare design (the
+		// experiment suite's designs never carry +M), then overlay every
+		// design the experiments run.
+		var probe dcl1.Design
+		if err := multi.ApplyDesign(&probe); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit(1)
+		}
+		ctx.Design = func(d dcl1.Design) dcl1.Design {
+			_ = multi.ApplyDesign(&d) // validated above
+			return d
+		}
 	}
 	ctx.Health.Ctx = sigCtx
 	health.Apply(&ctx.Health)

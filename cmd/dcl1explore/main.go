@@ -49,6 +49,7 @@ func main() {
 		retry     cliflags.Retry
 		journal   cliflags.Journal
 		telemetry cliflags.Telemetry
+		multi     cliflags.Multi
 	)
 	health.Register(flag.CommandLine)
 	chaos.Register(flag.CommandLine)
@@ -56,6 +57,7 @@ func main() {
 	retry.Register(flag.CommandLine)
 	journal.Register(flag.CommandLine)
 	telemetry.Register(flag.CommandLine)
+	multi.Register(flag.CommandLine)
 	flag.Parse()
 
 	app, ok := dcl1.AppByName(*appName)
@@ -71,6 +73,21 @@ func main() {
 	if chaos.Preset != "" && chaos.Preset != "off" {
 		spec.Chaos = chaos.Preset
 		spec.ChaosSeed = chaos.Seed
+	}
+	// -modules/-link-* turn the grid into a multi-GPU sweep: every point is
+	// assembled into that many linked modules. The fields ride along in
+	// -spec-out, so the POSTed sweep names the same machines.
+	if multi.Modules >= 2 {
+		spec.Modules = multi.Modules
+		spec.LinkGBps = multi.LinkGBps
+		spec.LinkLat = multi.LinkLat
+	} else if multi.LinkGBps > 0 || multi.LinkLat > 0 {
+		fmt.Fprintln(os.Stderr, "-link-gbps/-link-lat need -modules 2 or more")
+		os.Exit(1)
+	}
+	if _, err := serve.ParseSweepSpec(append(spec.Encode(), '\n')); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	if *specOut != "" {
 		if err := os.WriteFile(*specOut, append(spec.Encode(), '\n'), 0o644); err != nil {

@@ -30,10 +30,14 @@ import (
 )
 
 // variant is one measured configuration of the identical simulation.
+// modules > 0 assembles the design into that many linked GPU modules (a
+// different, 4x-bigger simulation — its numbers only compare against other
+// modules variants).
 type variant struct {
 	key     string
 	shards  int
 	strided bool
+	modules int
 }
 
 func main() {
@@ -66,6 +70,13 @@ func main() {
 	for _, n := range []int{4, 8} {
 		variants = append(variants, variant{key: fmt.Sprintf("strided_shards_%d", n), shards: n, strided: true})
 	}
+	// The modules4 entries measure the multi-GPU machine (4 linked modules,
+	// each the full Sh8+C2 system): modules are near-independent localities,
+	// so sharding should scale at least as well as within one module.
+	variants = append(variants,
+		variant{key: "modules4_serial", shards: 1, modules: 4},
+		variant{key: "modules4_shards_4", shards: 4, modules: 4},
+	)
 
 	results := make(map[string]float64, len(variants))
 	for _, v := range variants {
@@ -81,6 +92,7 @@ func main() {
 	for _, n := range []int{2, 4, 8} {
 		results[fmt.Sprintf("speedup_shards_%d", n)] = round2(serial / results[fmt.Sprintf("shards_%d", n)])
 	}
+	results["speedup_modules4_shards_4"] = round2(results["modules4_serial"] / results["modules4_shards_4"])
 
 	record := map[string]any{
 		"description": "Sharded tick executor vs serial on the saturated workload (C-BFS synthetic, always busy, Sh8+C2), ns of wall-clock per simulated core cycle, locality-aware placement unless prefixed strided_. Results are bit-identical across every variant (TestShardEquivalence, TestShardEquivalenceStridedPlacement); only speed differs. On a single-CPU host the sharded numbers are the executor-overhead bound — no parallel speedup is physically possible there; read the speedup off a multi-core record (the CI bench-sharded artifact).",
@@ -115,12 +127,23 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "dcl1shardbench: shards=4 speedup %.2fx >= %.2fx\n", got, *assert)
+		m4 := results["speedup_modules4_shards_4"]
+		if m4 < *assert {
+			fmt.Fprintf(os.Stderr,
+				"dcl1shardbench: 4-module shards=4 speedup %.2fx below required %.2fx (serial %.1f, sharded %.1f ns/sim-cycle, %d CPUs)\n",
+				m4, *assert, results["modules4_serial"], results["modules4_shards_4"], runtime.NumCPU())
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dcl1shardbench: 4-module shards=4 speedup %.2fx >= %.2fx\n", m4, *assert)
 	}
 }
 
 // measure times iters identical runs of the variant (after one untimed
 // warmup) and returns ns of wall-clock per simulated core cycle.
 func measure(cfg dcl1.Config, d dcl1.Design, app dcl1.Workload, v variant, iters int, simCycles int64) (float64, error) {
+	if v.modules > 0 {
+		d.Modules = v.modules
+	}
 	run := func() error {
 		opts := []dcl1.RunOption{dcl1.WithShards(v.shards)}
 		if v.strided {

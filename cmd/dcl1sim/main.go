@@ -47,11 +47,13 @@ func main() {
 		chaos     cliflags.Chaos
 		engine    cliflags.Engine
 		telemetry cliflags.Telemetry
+		multi     cliflags.Multi
 	)
 	health.Register(flag.CommandLine)
 	chaos.Register(flag.CommandLine)
 	engine.RegisterShards(flag.CommandLine)
 	telemetry.Register(flag.CommandLine)
+	multi.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -70,6 +72,10 @@ func main() {
 	}
 	d, err := dcl1.ParseDesign(*design)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := multi.ApplyDesign(&d); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

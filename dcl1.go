@@ -68,6 +68,9 @@ const (
 	MeshBase  = gpu.MeshBase
 )
 
+// MaxModules bounds Design.Modules: the largest multi-GPU assembly (+M<n>).
+const MaxModules = gpu.MaxModules
+
 // AppSpec describes one synthetic application (see package workload for the
 // parameter semantics and the substitution rationale).
 type AppSpec = workload.Spec

@@ -21,6 +21,7 @@ import (
 	"dcl1sim/internal/experiments"
 	"dcl1sim/internal/metrics"
 	"dcl1sim/internal/power"
+	"dcl1sim/internal/sim"
 )
 
 // Health is the watchdog group every simulating command carries:
@@ -147,6 +148,55 @@ func (j *Journal) Open(errw io.Writer) (*experiments.Journal, error) {
 		fmt.Fprintf(errw, "resume: %d completed point(s) in %s will be skipped\n", n, j.Path)
 	}
 	return jn, nil
+}
+
+// Multi is the multi-GPU group: -modules, -link-gbps, and -link-lat override
+// the design's module assembly (see dcl1.Design.Modules and DESIGN.md §16).
+// Zero values leave the parsed design untouched, so "+M4+G128" spelled inside
+// -design and the flags compose: the flags win where set.
+type Multi struct {
+	Modules  int
+	LinkGBps int
+	LinkLat  int
+}
+
+func (m *Multi) Register(fs *flag.FlagSet) {
+	fs.IntVar(&m.Modules, "modules", m.Modules,
+		fmt.Sprintf("build this many linked GPU modules, 2..%d (0 = design's own count, 1 = single module)", dcl1.MaxModules))
+	fs.IntVar(&m.LinkGBps, "link-gbps", m.LinkGBps,
+		"inter-module link bandwidth in bytes per link cycle (0 = design default; needs 2+ modules)")
+	fs.IntVar(&m.LinkLat, "link-lat", m.LinkLat,
+		"inter-module link switch latency in link cycles (0 = design default; needs 2+ modules)")
+}
+
+// ApplyDesign folds the group into a parsed design. -modules 1 forces a
+// single-module machine (clearing any +M suffix); link overrides require the
+// resulting design to have 2+ modules.
+func (m *Multi) ApplyDesign(d *dcl1.Design) error {
+	switch {
+	case m.Modules == 1:
+		d.Modules = 0
+	case m.Modules < 0 || m.Modules > dcl1.MaxModules:
+		return fmt.Errorf("-modules %d: must be 1..%d", m.Modules, dcl1.MaxModules)
+	case m.Modules >= 2:
+		d.Modules = m.Modules
+	}
+	if m.LinkGBps < 0 {
+		return fmt.Errorf("-link-gbps %d: must be positive", m.LinkGBps)
+	}
+	if m.LinkLat < 0 {
+		return fmt.Errorf("-link-lat %d: must be positive", m.LinkLat)
+	}
+	if (m.LinkGBps > 0 || m.LinkLat > 0) && d.Modules < 2 {
+		return fmt.Errorf("-link-gbps/-link-lat need a multi-module design (-modules 2..%d or +M in -design)", dcl1.MaxModules)
+	}
+	if m.LinkGBps > 0 {
+		d.LinkGBps = m.LinkGBps
+	}
+	if m.LinkLat > 0 {
+		d.LinkLat = sim.Cycle(m.LinkLat)
+	}
+	return nil
 }
 
 // Telemetry is the live-metrics group: -metrics-out and -metrics-every

@@ -153,6 +153,11 @@ type Context struct {
 	// PointDeadline bounds each individual simulation's wall clock on top of
 	// Health.Deadline (the tighter wins). 0 means unbounded.
 	PointDeadline time.Duration
+	// Design, when non-nil, overlays every design just before it is keyed
+	// and simulated — the hook dcl1bench uses to fold the -modules/-link-*
+	// flags over the experiment suite's fixed designs. The overlay is part
+	// of the memo key, so overlaid and plain runs never alias.
+	Design func(gpu.Design) gpu.Design
 
 	failures []Failure
 
@@ -194,6 +199,9 @@ func QuickContext() *Context {
 }
 
 func (ctx *Context) run(cfg gpu.Config, d gpu.Design, app workload.Source) gpu.Results {
+	if ctx.Design != nil {
+		d = ctx.Design(d)
+	}
 	// The key encodes the full design value, not just its display name:
 	// study knobs like PrefetchNext or TrimReplies do not appear in Name().
 	// TrimReplies is a pointer, so it is normalized to its value first.

@@ -18,6 +18,19 @@ import (
 
 const pumpRate = 2
 
+// Bounds of the multi-GPU assembly (DESIGN.md §16).
+const (
+	// MaxModules caps the module count of one machine.
+	MaxModules = 8
+	// MaxLinkGBps caps the inter-module link bandwidth per direction.
+	MaxLinkGBps = 1024
+	// MaxLinkLat caps the link switch latency in link cycles.
+	MaxLinkLat = 4096
+	// LinkClkMHz is the inter-module link clock: 1 GHz, so a link's GB/s
+	// rating equals its flit width in bytes per link cycle.
+	LinkClkMHz = 1000
+)
+
 // System is one fully wired machine executing one application.
 type System struct {
 	Cfg Config
@@ -72,7 +85,65 @@ type System struct {
 	meter     *power.Meter
 	collector *metrics.Collector
 	gov       *governor
+
+	// Multi-GPU module placement (zero for a single-module machine, the
+	// default): this module's index, the machine's module count, the
+	// component-name prefix ("m<i>."), and the per-clock locality-group bases
+	// that keep two modules' group ids disjoint on the shared clocks.
+	module  int
+	modules int
+	prefix  string
+	gbCore  int
+	gbNoc1  int
+	gbNoc2  int
+	gbMem   int
+
+	// Inter-module link ports, one per DRAM channel (built only when modules
+	// >= 2; see wireMemSide). linkMissOut carries remote-homed L2 misses
+	// toward the link; linkReqIn receives remote modules' requests for local
+	// DRAM; linkRepOut carries local DRAM fills bound for a remote module;
+	// linkFillIn receives fills coming back from remote DRAM.
+	linkMissOut []*sim.Port[*mem.Access]
+	linkReqIn   []*sim.Port[*mem.Access]
+	linkRepOut  []*sim.Port[*mem.Access]
+	linkFillIn  []*sim.Port[*mem.Access]
 }
+
+// fabric places a System inside a multi-GPU Machine: the shared engine,
+// clocks, pool, and metric registry, plus the module's coordinates and
+// locality-group bases. Only NewMachine constructs one.
+type fabric struct {
+	eng     *sim.Engine
+	coreClk *sim.Clock
+	noc1Clk *sim.Clock
+	noc2Clk *sim.Clock
+	memClk  *sim.Clock
+	pool    *mem.Pool
+	reg     *metrics.Registry
+	module  int
+	modules int
+	gbCore  int
+	gbNoc1  int
+	gbNoc2  int
+	gbMem   int
+}
+
+// withFabric builds the System as module f.module of a multi-GPU machine.
+func withFabric(f *fabric) BuildOption {
+	return func(s *System) {
+		s.Eng = f.eng
+		s.CoreClk, s.Noc1Clk, s.Noc2Clk, s.MemClk = f.coreClk, f.noc1Clk, f.noc2Clk, f.memClk
+		s.Pool = f.pool
+		s.Reg = f.reg
+		s.module, s.modules = f.module, f.modules
+		s.gbCore, s.gbNoc1, s.gbNoc2, s.gbMem = f.gbCore, f.gbNoc1, f.gbNoc2, f.gbMem
+		s.prefix = fmt.Sprintf("m%d.", f.module)
+	}
+}
+
+// cname prefixes a component name with the module namespace ("m0.", "m1.",
+// ...) in a multi-GPU machine; single-module names are unchanged.
+func (s *System) cname(name string) string { return s.prefix + name }
 
 // BuildOption adjusts how NewSystem assembles a machine.
 type BuildOption func(*System)
@@ -82,7 +153,24 @@ type BuildOption func(*System)
 // pooled-vs-unpooled equivalence tests; simulated results are identical.
 func WithoutPool() BuildOption { return func(s *System) { s.noPool = true } }
 
-// NewSystem builds the machine for design d running app.
+// nocClockMHz derives the two NoC clock frequencies of a design (the boost
+// variants double one or both). Shared by NewSystem and NewMachine so every
+// module of a multi-GPU machine agrees with the single-module build.
+func nocClockMHz(cfg Config, d Design) (noc1MHz, noc2MHz int64) {
+	noc1MHz = cfg.NoCMHz
+	if d.Boost1 || d.CDXBoostS1 || d.CDXBoostAll || (d.Kind == Baseline && d.NoCBoost) {
+		noc1MHz *= 2
+	}
+	noc2MHz = cfg.NoCMHz
+	if d.CDXBoostAll || (d.Kind == Baseline && d.NoCBoost) {
+		noc2MHz *= 2
+	}
+	return noc1MHz, noc2MHz
+}
+
+// NewSystem builds the machine for design d running app. Multi-GPU designs
+// (Modules >= 2) must go through NewMachine, which builds one System per
+// module on a shared engine and wires the inter-module link between them.
 func NewSystem(cfg Config, d Design, app workload.Source, opts ...BuildOption) *System {
 	cfg = cfg.WithDefaults()
 	d = d.withDefaults(cfg)
@@ -92,7 +180,6 @@ func NewSystem(cfg Config, d Design, app workload.Source, opts ...BuildOption) *
 		Cfg:     cfg,
 		D:       d,
 		App:     app,
-		Eng:     sim.NewEngine(),
 		AMap:    cfg.AddressMap(),
 		Tracker: cache.NewPresence(),
 		trim:    *d.TrimReplies,
@@ -100,23 +187,28 @@ func NewSystem(cfg Config, d Design, app workload.Source, opts ...BuildOption) *
 	for _, o := range opts {
 		o(s)
 	}
-	if !s.noPool {
+	if d.Modules >= 2 && s.modules == 0 {
+		panic("gpu: designs with Modules >= 2 must be built with NewMachine")
+	}
+	if s.Eng == nil {
+		s.Eng = sim.NewEngine()
+	}
+	if !s.noPool && s.Pool == nil {
 		s.Pool = mem.NewPool()
 	}
-
-	noc1MHz := cfg.NoCMHz
-	if d.Boost1 || d.CDXBoostS1 || d.CDXBoostAll || (d.Kind == Baseline && d.NoCBoost) {
-		noc1MHz *= 2
-	}
-	noc2MHz := cfg.NoCMHz
-	if d.CDXBoostAll || (d.Kind == Baseline && d.NoCBoost) {
-		noc2MHz *= 2
+	if s.modules >= 2 {
+		s.AMap.Modules = s.modules
+		s.AMap.Module = s.module
+		s.AMap.Private = d.PrivateAS
 	}
 
-	s.CoreClk = s.Eng.NewClock("core", cfg.CoreMHz)
-	s.Noc1Clk = s.Eng.NewClock("noc1", noc1MHz)
-	s.Noc2Clk = s.Eng.NewClock("noc2", noc2MHz)
-	s.MemClk = s.Eng.NewClock("mem", cfg.MemMHz)
+	if s.CoreClk == nil {
+		noc1MHz, noc2MHz := nocClockMHz(cfg, d)
+		s.CoreClk = s.Eng.NewClock("core", cfg.CoreMHz)
+		s.Noc1Clk = s.Eng.NewClock("noc1", noc1MHz)
+		s.Noc2Clk = s.Eng.NewClock("noc2", noc2MHz)
+		s.MemClk = s.Eng.NewClock("mem", cfg.MemMHz)
+	}
 
 	s.buildCores()
 	s.buildNodes()
@@ -166,6 +258,12 @@ func NewSystem(cfg Config, d Design, app workload.Source, opts ...BuildOption) *
 // (see internal/sim/placement.go), only which worker's cache holds the hot
 // state.
 
+// Every id below is offset by the module's per-clock group base (gb*), so
+// group allocation is module-scoped: in a multi-GPU machine two modules
+// sharing a clock can never collide on a group id, and whole modules stay
+// coherent neighborhoods for the locality-aware partitioner. Single-module
+// builds have zero bases and keep the historical ids exactly.
+
 // coreClkGroup is the CoreClk group of core c: local-L1 designs colocate the
 // core with its private node, Private with its fixed DC-L1 node; in the
 // home-sliced designs (Shared, Clustered, SingleL1) a core talks to every
@@ -173,11 +271,11 @@ func NewSystem(cfg Config, d Design, app workload.Source, opts ...BuildOption) *
 func (s *System) coreClkGroup(c int) int {
 	switch s.D.Kind {
 	case Baseline, CDXBar, MeshBase:
-		return c
+		return s.gbCore + c
 	case Private:
-		return c / (s.Cfg.Cores / s.D.DCL1s)
+		return s.gbCore + c/(s.Cfg.Cores/s.D.DCL1s)
 	default:
-		return c
+		return s.gbCore + c
 	}
 }
 
@@ -185,19 +283,26 @@ func (s *System) coreClkGroup(c int) int {
 func (s *System) nodeClkGroup(i int) int {
 	switch s.D.Kind {
 	case Baseline, CDXBar, MeshBase, Private:
-		return i // shares the namespace coreClkGroup maps cores into
+		return s.gbCore + i // shares the namespace coreClkGroup maps cores into
 	default:
-		return s.Cfg.Cores + i
+		return s.gbCore + s.Cfg.Cores + i
 	}
 }
+
+// noc1Group is the Noc1Clk namespace: the design wiring allocates ids from
+// zero, the base keeps modules disjoint.
+func (s *System) noc1Group(k int) int { return s.gbNoc1 + k }
+
+// memGroup is the MemClk namespace: channel ch and everything serving it.
+func (s *System) memGroup(ch int) int { return s.gbMem + ch }
 
 // Noc2Clk namespace: [0, L2Slices) per-slice neighborhoods (the L2 ctrl, its
 // l2in→In pump, its Out→reply pump), [L2Slices, +Channels) the DRAM fan-in
 // pumps, and noc2Group(k) for everything the design wiring adds on top
 // (crossbars, meshes, node-side pumps; k allocated per wire function).
-func (s *System) sliceGroup(i int) int { return i }
-func (s *System) chanGroup(ch int) int { return s.Cfg.L2Slices + ch }
-func (s *System) noc2Group(k int) int  { return s.Cfg.L2Slices + s.Cfg.Channels + k }
+func (s *System) sliceGroup(i int) int { return s.gbNoc2 + i }
+func (s *System) chanGroup(ch int) int { return s.gbNoc2 + s.Cfg.L2Slices + ch }
+func (s *System) noc2Group(k int) int  { return s.gbNoc2 + s.Cfg.L2Slices + s.Cfg.Channels + k }
 
 func validate(cfg Config, d Design) {
 	if err := d.Validate(cfg); err != nil {
@@ -232,18 +337,37 @@ func (d Design) Validate(cfg Config) error {
 				d.CDXGroups, d.CDXMid, cfg.Cores, cfg.L2Slices)
 		}
 	}
+	if d.Modules < 0 || d.Modules > MaxModules {
+		return fmt.Errorf("gpu: module count %d outside [0, %d]", d.Modules, MaxModules)
+	}
+	if d.Modules < 2 {
+		if d.LinkGBps != 0 || d.LinkLat != 0 || d.PrivateAS {
+			return fmt.Errorf("gpu: inter-module link parameters require Modules >= 2")
+		}
+		return nil
+	}
+	if d.LinkGBps > MaxLinkGBps {
+		return fmt.Errorf("gpu: link bandwidth %d GB/s exceeds %d", d.LinkGBps, MaxLinkGBps)
+	}
+	if d.LinkLat > MaxLinkLat {
+		return fmt.Errorf("gpu: link latency %d exceeds %d cycles", d.LinkLat, MaxLinkLat)
+	}
 	return nil
 }
 
 // nodeCount returns the number of L1/DC-L1 nodes in the design.
-func (s *System) nodeCount() int {
-	switch s.D.Kind {
+func (s *System) nodeCount() int { return nodeCountOf(s.Cfg, s.D) }
+
+// nodeCountOf is nodeCount without a built System (NewMachine sizes the
+// per-module group namespaces before any module exists).
+func nodeCountOf(cfg Config, d Design) int {
+	switch d.Kind {
 	case Baseline, CDXBar, MeshBase:
-		return s.Cfg.Cores
+		return cfg.Cores
 	case SingleL1:
 		return 1
 	default:
-		return s.D.DCL1s
+		return d.DCL1s
 	}
 }
 
@@ -321,7 +445,7 @@ func (s *System) l1NodeParams(id int) dcl1.Params {
 	return dcl1.Params{
 		ID: id,
 		Cache: cache.Params{
-			Name:           fmt.Sprintf("l1-%d", id),
+			Name:           s.cname(fmt.Sprintf("l1-%d", id)),
 			Sets:           sets,
 			Ways:           cfg.L1Ways,
 			HitLatency:     lat,
@@ -375,7 +499,7 @@ func (s *System) buildL2AndDram() {
 	sets := lines / cfg.L2Ways
 	for i := 0; i < cfg.L2Slices; i++ {
 		l2 := cache.New(cache.Params{
-			Name:       fmt.Sprintf("l2-%d", i),
+			Name:       s.cname(fmt.Sprintf("l2-%d", i)),
 			Sets:       sets,
 			Ways:       cfg.L2Ways,
 			HitLatency: cfg.L2Lat,
@@ -402,12 +526,12 @@ func (s *System) buildL2AndDram() {
 		l2.Out.AttachGrouped(s.Noc2Clk, s.sliceGroup(i))
 		l2.MissOut.AttachGrouped(s.Noc2Clk, s.sliceGroup(i))
 		l2.In.AttachGrouped(s.Noc2Clk, s.sliceGroup(i))
-		l2.FillIn.AttachGrouped(s.MemClk, s.AMap.Channel(i))
+		l2.FillIn.AttachGrouped(s.MemClk, s.memGroup(s.AMap.Channel(i)))
 		in.AttachGrouped(s.Noc2Clk, s.sliceGroup(i))
 	}
 	for ch := 0; ch < cfg.Channels; ch++ {
 		dc := dram.New(dram.Params{
-			Name:  fmt.Sprintf("mc-%d", ch),
+			Name:  s.cname(fmt.Sprintf("mc-%d", ch)),
 			Banks: cfg.DramBanks,
 			Map:   s.AMap,
 		})
@@ -415,8 +539,8 @@ func (s *System) buildL2AndDram() {
 		// MemClk namespace: channel ch and everything serving it (the reply
 		// pump, the slices' FillIn ports) share group ch; LPT spreads the
 		// channels round-robin.
-		s.MemClk.RegisterGrouped(dc, ch)
-		dc.Out.AttachGrouped(s.MemClk, ch)
+		s.MemClk.RegisterGrouped(dc, s.memGroup(ch))
+		dc.Out.AttachGrouped(s.MemClk, s.memGroup(ch))
 	}
 }
 
@@ -461,19 +585,26 @@ func pump(q *sim.Port[*mem.Access], rate int, try func(a *mem.Access) bool) sim.
 // attached port admits exactly one producer component: where many logical
 // sources feed one queue (all cores into the SingleL1 node, all of a DRAM
 // channel's slices into its In port), the fan-in must be a single ticker so
-// the destination's staging buffer is never written concurrently.
+// the destination's staging buffer is never written concurrently. The
+// optional prep hook runs before try with the source index, letting a fan-in
+// treat sources differently (the multi-GPU DRAM fan-in stamps locally
+// originated misses with the module id while link arrivals keep theirs).
 type multiPump struct {
 	srcs []*sim.Port[*mem.Access]
 	rate int
 	try  func(a *mem.Access) bool
+	prep func(src int, a *mem.Access)
 }
 
 func (p *multiPump) Tick(sim.Cycle) {
-	for _, q := range p.srcs {
+	for si, q := range p.srcs {
 		for i := 0; i < p.rate; i++ {
 			a, ok := q.Peek()
 			if !ok {
 				break
+			}
+			if p.prep != nil {
+				p.prep(si, a)
 			}
 			if !p.try(a) {
 				break
@@ -526,7 +657,7 @@ func (s *System) inject(x packetNet, a *mem.Access, src, dst, flits int) bool {
 
 func (s *System) xbar(name string, ins, outs int) *noc.Crossbar {
 	return noc.New(noc.Params{
-		Name: name, Ins: ins, Outs: outs,
+		Name: s.cname(name), Ins: ins, Outs: outs,
 		LinkBytes: s.D.FlitBytes, RouterLat: 2,
 	})
 }
@@ -595,12 +726,12 @@ func (s *System) wireNoC1() {
 			rep := s.xbar(fmt.Sprintf("noc1-rep-%d", n), 1, per)
 			s.Noc1Req = append(s.Noc1Req, req)
 			s.Noc1Rep = append(s.Noc1Rep, rep)
-			s.Noc1Clk.RegisterGrouped(req, n)
-			s.Noc1Clk.RegisterGrouped(rep, n)
-			req.AttachPortsGrouped(s.Noc1Clk, func(int) int { return n })
-			rep.AttachPortsGrouped(s.Noc1Clk, func(int) int { return n })
+			s.Noc1Clk.RegisterGrouped(req, s.noc1Group(n))
+			s.Noc1Clk.RegisterGrouped(rep, s.noc1Group(n))
+			req.AttachPortsGrouped(s.Noc1Clk, func(int) int { return s.noc1Group(n) })
+			rep.AttachPortsGrouped(s.Noc1Clk, func(int) int { return s.noc1Group(n) })
 			req.SetEndpoint(0, s.sink(s.Nodes[n].Q1))
-			s.Nodes[n].Q1.AttachGrouped(s.Noc1Clk, n)
+			s.Nodes[n].Q1.AttachGrouped(s.Noc1Clk, s.noc1Group(n))
 		}
 		for c := 0; c < cfg.Cores; c++ {
 			c := c
@@ -609,16 +740,16 @@ func (s *System) wireNoC1() {
 			src := c % per
 			s.Noc1Clk.RegisterGrouped(pump(s.Cores[c].Out, pumpRate, func(a *mem.Access) bool {
 				return s.inject(req, a, src, 0, reqFlits(a, d.FlitBytes, false))
-			}), n)
+			}), s.noc1Group(n))
 			s.Noc1Rep[n].SetEndpoint(src, s.sink(s.Cores[c].In))
-			s.Cores[c].In.AttachGrouped(s.Noc1Clk, n)
+			s.Cores[c].In.AttachGrouped(s.Noc1Clk, s.noc1Group(n))
 		}
 		for n := 0; n < d.DCL1s; n++ {
 			n := n
 			rep := s.Noc1Rep[n]
 			s.Noc1Clk.RegisterGrouped(pump(s.Nodes[n].Q2, pumpRate, func(a *mem.Access) bool {
 				return s.inject(rep, a, 0, a.Core%per, replyFlits(a, d.FlitBytes, true, s.trim))
-			}), n)
+			}), s.noc1Group(n))
 		}
 	case Shared:
 		// Noc1Clk namespace: the two crossbar hubs get groups 0/1, each
@@ -628,25 +759,25 @@ func (s *System) wireNoC1() {
 		rep := s.xbar("noc1-rep", d.DCL1s, cfg.Cores)
 		s.Noc1Req = []*noc.Crossbar{req}
 		s.Noc1Rep = []*noc.Crossbar{rep}
-		s.Noc1Clk.RegisterGrouped(req, 0)
-		s.Noc1Clk.RegisterGrouped(rep, 1)
-		req.AttachPortsGrouped(s.Noc1Clk, func(in int) int { return 2 + in })
-		rep.AttachPortsGrouped(s.Noc1Clk, func(in int) int { return 2 + cfg.Cores + in })
+		s.Noc1Clk.RegisterGrouped(req, s.noc1Group(0))
+		s.Noc1Clk.RegisterGrouped(rep, s.noc1Group(1))
+		req.AttachPortsGrouped(s.Noc1Clk, func(in int) int { return s.noc1Group(2 + in) })
+		rep.AttachPortsGrouped(s.Noc1Clk, func(in int) int { return s.noc1Group(2 + cfg.Cores + in) })
 		for c := 0; c < cfg.Cores; c++ {
 			c := c
 			s.Noc1Clk.RegisterGrouped(pump(s.Cores[c].Out, pumpRate, func(a *mem.Access) bool {
 				return s.inject(req, a, c, s.Map.Home(c, a.Line), reqFlits(a, d.FlitBytes, false))
-			}), 2+c)
+			}), s.noc1Group(2+c))
 			rep.SetEndpoint(c, s.sink(s.Cores[c].In))
-			s.Cores[c].In.AttachGrouped(s.Noc1Clk, 1)
+			s.Cores[c].In.AttachGrouped(s.Noc1Clk, s.noc1Group(1))
 		}
 		for n := 0; n < d.DCL1s; n++ {
 			n := n
 			req.SetEndpoint(n, s.sink(s.Nodes[n].Q1))
-			s.Nodes[n].Q1.AttachGrouped(s.Noc1Clk, 0)
+			s.Nodes[n].Q1.AttachGrouped(s.Noc1Clk, s.noc1Group(0))
 			s.Noc1Clk.RegisterGrouped(pump(s.Nodes[n].Q2, pumpRate, func(a *mem.Access) bool {
 				return s.inject(rep, a, n, a.Core, replyFlits(a, d.FlitBytes, true, s.trim))
-			}), 2+cfg.Cores+n)
+			}), s.noc1Group(2+cfg.Cores+n))
 		}
 	case Clustered:
 		// Noc1Clk namespace: crossbar pair of cluster cl → 2cl/2cl+1, then
@@ -662,13 +793,13 @@ func (s *System) wireNoC1() {
 			rep := s.xbar(fmt.Sprintf("noc1-rep-%d", cl), m, coresPer)
 			s.Noc1Req = append(s.Noc1Req, req)
 			s.Noc1Rep = append(s.Noc1Rep, rep)
-			s.Noc1Clk.RegisterGrouped(req, 2*cl)
-			s.Noc1Clk.RegisterGrouped(rep, 2*cl+1)
-			req.AttachPortsGrouped(s.Noc1Clk, func(in int) int { return base + cl*coresPer + in })
-			rep.AttachPortsGrouped(s.Noc1Clk, func(in int) int { return base + cfg.Cores + cl*m + in })
+			s.Noc1Clk.RegisterGrouped(req, s.noc1Group(2*cl))
+			s.Noc1Clk.RegisterGrouped(rep, s.noc1Group(2*cl+1))
+			req.AttachPortsGrouped(s.Noc1Clk, func(in int) int { return s.noc1Group(base + cl*coresPer + in) })
+			rep.AttachPortsGrouped(s.Noc1Clk, func(in int) int { return s.noc1Group(base + cfg.Cores + cl*m + in) })
 			for j := 0; j < m; j++ {
 				req.SetEndpoint(j, s.sink(s.Nodes[cl*m+j].Q1))
-				s.Nodes[cl*m+j].Q1.AttachGrouped(s.Noc1Clk, 2*cl)
+				s.Nodes[cl*m+j].Q1.AttachGrouped(s.Noc1Clk, s.noc1Group(2*cl))
 			}
 		}
 		for c := 0; c < cfg.Cores; c++ {
@@ -678,9 +809,9 @@ func (s *System) wireNoC1() {
 			s.Noc1Clk.RegisterGrouped(pump(s.Cores[c].Out, pumpRate, func(a *mem.Access) bool {
 				local := s.Map.Home(c, a.Line) - cl*m
 				return s.inject(req, a, c%coresPer, local, reqFlits(a, d.FlitBytes, false))
-			}), base+c)
+			}), s.noc1Group(base+c))
 			s.Noc1Rep[cl].SetEndpoint(c%coresPer, s.sink(s.Cores[c].In))
-			s.Cores[c].In.AttachGrouped(s.Noc1Clk, 2*cl+1)
+			s.Cores[c].In.AttachGrouped(s.Noc1Clk, s.noc1Group(2*cl+1))
 		}
 		for n := 0; n < d.DCL1s; n++ {
 			n := n
@@ -688,7 +819,7 @@ func (s *System) wireNoC1() {
 			rep := s.Noc1Rep[cl]
 			s.Noc1Clk.RegisterGrouped(pump(s.Nodes[n].Q2, pumpRate, func(a *mem.Access) bool {
 				return s.inject(rep, a, n%m, a.Core%coresPer, replyFlits(a, d.FlitBytes, true, s.trim))
-			}), base+cfg.Cores+n)
+			}), s.noc1Group(base+cfg.Cores+n))
 		}
 	}
 }
@@ -854,13 +985,13 @@ func (s *System) wireCDXBarNoC() {
 		rep := s.xbar(fmt.Sprintf("cdx-s1-rep-%d", gi), mid, per)
 		s1req = append(s1req, req)
 		s1rep = append(s1rep, rep)
-		s.Noc1Clk.RegisterGrouped(req, 2*gi)
-		s.Noc1Clk.RegisterGrouped(rep, 2*gi+1)
-		req.AttachPortsGrouped(s.Noc1Clk, func(in int) int { return base1 + gi*per + in })
-		rep.AttachPortsGrouped(s.Noc1Clk, func(j int) int { return base1 + cfg.Cores + gi*mid + j })
+		s.Noc1Clk.RegisterGrouped(req, s.noc1Group(2*gi))
+		s.Noc1Clk.RegisterGrouped(rep, s.noc1Group(2*gi+1))
+		req.AttachPortsGrouped(s.Noc1Clk, func(in int) int { return s.noc1Group(base1 + gi*per + in) })
+		rep.AttachPortsGrouped(s.Noc1Clk, func(j int) int { return s.noc1Group(base1 + cfg.Cores + gi*mid + j) })
 		for j := 0; j < mid; j++ {
 			req.SetEndpoint(j, s.sink(midReq[gi][j]))
-			midReq[gi][j].AttachGrouped(s.Noc1Clk, 2*gi)
+			midReq[gi][j].AttachGrouped(s.Noc1Clk, s.noc1Group(2*gi))
 		}
 	}
 	s.Noc1Req = s1req
@@ -892,9 +1023,9 @@ func (s *System) wireCDXBarNoC() {
 		s.Noc1Clk.RegisterGrouped(pump(nd.Q3, pumpRate, func(a *mem.Access) bool {
 			slice := s.AMap.L2Slice(a.Line)
 			return s.inject(req, a, c%per, slice%mid, reqFlits(a, d.FlitBytes, true))
-		}), base1+c)
+		}), s.noc1Group(base1+c))
 		s1rep[gi].SetEndpoint(c%per, s.sink(nd.Q4))
-		nd.Q4.AttachGrouped(s.Noc1Clk, 2*gi+1)
+		nd.Q4.AttachGrouped(s.Noc1Clk, s.noc1Group(2*gi+1))
 	}
 	for gi := 0; gi < g; gi++ {
 		gi := gi
@@ -912,7 +1043,7 @@ func (s *System) wireCDXBarNoC() {
 					who = a.Node
 				}
 				return s.inject(rep1, a, j, who%per, replyFlits(a, d.FlitBytes, false, false))
-			}), base1+cfg.Cores+gi*mid+j)
+			}), s.noc1Group(base1+cfg.Cores+gi*mid+j))
 		}
 	}
 	for j := 0; j < mid; j++ {
@@ -952,8 +1083,22 @@ func (s *System) wireL2Replies(inject func(a *mem.Access, slice int) bool) {
 }
 
 // wireMemSide connects L2 miss queues to the DRAM channels and routes DRAM
-// replies back to the owning slice.
+// replies back to the owning slice. In a multi-GPU machine it also builds the
+// per-channel link ports and splits both directions by home module: misses
+// for remote-homed lines divert to linkMissOut instead of local DRAM, remote
+// modules' requests arrive through linkReqIn, local DRAM fills bound for a
+// remote origin divert to linkRepOut, and remote fills come home through
+// linkFillIn. The single-module paths are untouched.
 func (s *System) wireMemSide() {
+	multi := s.modules >= 2
+	if multi {
+		for range s.Drams {
+			s.linkMissOut = append(s.linkMissOut, sim.NewPort[*mem.Access](8))
+			s.linkReqIn = append(s.linkReqIn, sim.NewPort[*mem.Access](8))
+			s.linkRepOut = append(s.linkRepOut, sim.NewPort[*mem.Access](8))
+			s.linkFillIn = append(s.linkFillIn, sim.NewPort[*mem.Access](8))
+		}
+	}
 	// Group each channel's slices so the channel's In port has one composite
 	// producer draining the mapped MissOuts in slice order.
 	missByCh := make([][]*sim.Port[*mem.Access], len(s.Drams))
@@ -962,17 +1107,65 @@ func (s *System) wireMemSide() {
 		missByCh[ch] = append(missByCh[ch], s.L2[i].MissOut)
 	}
 	for ch, dc := range s.Drams {
-		s.Noc2Clk.RegisterGrouped(&multiPump{srcs: missByCh[ch], rate: pumpRate, try: dc.In.Push}, s.chanGroup(ch))
+		if !multi {
+			s.Noc2Clk.RegisterGrouped(&multiPump{srcs: missByCh[ch], rate: pumpRate, try: dc.In.Push}, s.chanGroup(ch))
+			dc.In.AttachGrouped(s.Noc2Clk, s.chanGroup(ch))
+			continue
+		}
+		ch, dc := ch, dc
+		// Local slices first (in slice order, as in the single-module build),
+		// then the link ingress; every locally originated miss is stamped with
+		// the module so its fill can find the way home.
+		nLocal := len(missByCh[ch])
+		srcs := append(append([]*sim.Port[*mem.Access]{}, missByCh[ch]...), s.linkReqIn[ch])
+		s.Noc2Clk.RegisterGrouped(&multiPump{
+			srcs: srcs,
+			rate: pumpRate,
+			prep: func(si int, a *mem.Access) {
+				if si < nLocal {
+					a.Module = s.module
+				}
+			},
+			try: func(a *mem.Access) bool {
+				if s.AMap.Local(a.Line) {
+					return dc.In.Push(a)
+				}
+				return s.linkMissOut[ch].Push(a)
+			},
+		}, s.chanGroup(ch))
 		dc.In.AttachGrouped(s.Noc2Clk, s.chanGroup(ch))
+		s.linkMissOut[ch].AttachGrouped(s.Noc2Clk, s.chanGroup(ch))
 	}
 	for ch, dc := range s.Drams {
 		dc := dc
-		s.MemClk.RegisterGrouped(pump(dc.Out, pumpRate, func(a *mem.Access) bool {
-			if a.Kind == mem.Store && a.Core == -1 {
-				s.Pool.PutAccess(a) // orphan writeback ACK: drop and retire
-				return true
-			}
-			return s.L2[s.AMap.L2Slice(a.Line)].FillIn.Push(a)
-		}), ch)
+		if !multi {
+			s.MemClk.RegisterGrouped(pump(dc.Out, pumpRate, func(a *mem.Access) bool {
+				if a.Kind == mem.Store && a.Core == -1 {
+					s.Pool.PutAccess(a) // orphan writeback ACK: drop and retire
+					return true
+				}
+				return s.L2[s.AMap.L2Slice(a.Line)].FillIn.Push(a)
+			}), s.memGroup(ch))
+			continue
+		}
+		ch := ch
+		// DRAM output first, then fills arriving over the link; orphan
+		// writeback ACKs retire at the home module (nothing waits for them),
+		// remote-origin fills divert to the link egress.
+		s.MemClk.RegisterGrouped(&multiPump{
+			srcs: []*sim.Port[*mem.Access]{dc.Out, s.linkFillIn[ch]},
+			rate: pumpRate,
+			try: func(a *mem.Access) bool {
+				if a.Kind == mem.Store && a.Core == -1 {
+					s.Pool.PutAccess(a) // orphan writeback ACK: drop and retire
+					return true
+				}
+				if a.Module != s.module {
+					return s.linkRepOut[ch].Push(a)
+				}
+				return s.L2[s.AMap.L2Slice(a.Line)].FillIn.Push(a)
+			},
+		}, s.memGroup(ch))
+		s.linkRepOut[ch].AttachGrouped(s.MemClk, s.memGroup(ch))
 	}
 }

@@ -31,27 +31,40 @@ func (s *System) InstallChaos(spec *chaos.Spec) error {
 		return err
 	}
 	s.chaosSpec = norm
-	add := func(kind chaos.Kind, id int, name string) *chaos.Injector {
-		in := chaos.New(norm, kind, id, name)
+	s.armChaos(norm, nil)
+	return nil
+}
+
+// armChaos installs the per-component injectors. The next map carries the
+// per-kind component index across calls: a multi-GPU machine passes one map
+// through every module so indices are module-global (module 1's first core is
+// KindCore index Cores, not 0) and the fault schedule stays a pure function
+// of the machine. A nil map starts every kind at zero.
+func (s *System) armChaos(norm *chaos.Spec, next map[chaos.Kind]int) {
+	if next == nil {
+		next = make(map[chaos.Kind]int)
+	}
+	add := func(kind chaos.Kind, name string) *chaos.Injector {
+		in := chaos.New(norm, kind, next[kind], name)
+		next[kind]++
 		s.injectors = append(s.injectors, in)
 		return in
 	}
 	for i, c := range s.Cores {
-		c.Chaos = add(chaos.KindCore, i, fmt.Sprintf("core-%d", i))
+		c.Chaos = add(chaos.KindCore, s.cname(fmt.Sprintf("core-%d", i)))
 	}
-	for i, n := range s.Nodes {
-		n.Ctrl.Chaos = add(chaos.KindL1, i, n.Ctrl.P.Name)
+	for _, n := range s.Nodes {
+		n.Ctrl.Chaos = add(chaos.KindL1, n.Ctrl.P.Name)
 	}
-	for i, l2 := range s.L2 {
-		l2.Chaos = add(chaos.KindL2, i, l2.P.Name)
+	for _, l2 := range s.L2 {
+		l2.Chaos = add(chaos.KindL2, l2.P.Name)
 	}
-	for i, x := range s.crossbars() {
-		x.Chaos = add(chaos.KindNoC, i, x.P.Name)
+	for _, x := range s.crossbars() {
+		x.Chaos = add(chaos.KindNoC, x.P.Name)
 	}
-	for i, dc := range s.Drams {
-		dc.Chaos = add(chaos.KindDram, i, dc.P.Name)
+	for _, dc := range s.Drams {
+		dc.Chaos = add(chaos.KindDram, dc.P.Name)
 	}
-	return nil
 }
 
 // ChaosEvents returns the merged recorded fault schedule across all injectors

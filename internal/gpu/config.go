@@ -199,6 +199,23 @@ type Design struct {
 	// (+ no-write-allocate) to write-back (+ write-allocate): an ablation of
 	// the Section VII policy choice.
 	L1WriteBack bool
+
+	// Multi-GPU module assembly (DESIGN.md §16). Modules builds N copies of
+	// the full machine joined by an inter-GPU link; 0 or 1 is the classic
+	// single-module build, byte-identical to the pre-module simulator.
+	Modules int // number of linked GPU modules (+M<n>, 2..8)
+	// LinkGBps is the inter-module link bandwidth per direction in GB/s
+	// (+G<n>): the link clocks at 1 GHz, so the value is also the link flit
+	// width in bytes. 0 defaults to 64 GB/s when Modules >= 2.
+	LinkGBps int
+	// LinkLat is the link switch latency in link cycles (+Lat<n>); 0
+	// defaults to 8 when Modules >= 2.
+	LinkLat sim.Cycle
+	// PrivateAS selects the private (per-module replicated) address-space
+	// mode (+Priv): every module owns a full copy of the address space and
+	// the link stays idle. The default is the partitioned mode, where each
+	// line has one home module's DRAM and remote L2 misses cross the link.
+	PrivateAS bool
 }
 
 func (d Design) withDefaults(cfg Config) Design {
@@ -224,11 +241,51 @@ func (d Design) withDefaults(cfg Config) Design {
 		t := true
 		d.TrimReplies = &t
 	}
+	if d.Modules >= 2 {
+		if d.LinkGBps <= 0 {
+			d.LinkGBps = DefaultLinkGBps
+		}
+		if d.LinkLat <= 0 {
+			d.LinkLat = DefaultLinkLat
+		}
+	}
 	return d
 }
 
-// Name returns the paper's name for the design (e.g. "Sh40+C10+Boost").
-func (d Design) Name() string {
+// Default inter-module link parameters, applied when a multi-module design
+// leaves them unset. Canonical names omit default values ("Sh40+M4" and
+// "Sh40+M4+G64+Lat8" are the same machine and the same name).
+const (
+	DefaultLinkGBps = 64
+	DefaultLinkLat  = sim.Cycle(8)
+)
+
+// Name returns the paper's name for the design (e.g. "Sh40+C10+Boost"),
+// plus the module-assembly suffixes (e.g. "Sh40+C10+M4+G128") when the
+// design builds a multi-GPU machine.
+func (d Design) Name() string { return d.baseName() + d.moduleSuffix() }
+
+// moduleSuffix renders the multi-GPU modifiers in canonical order. A
+// single-module design renders nothing, keeping every pre-module name
+// byte-identical.
+func (d Design) moduleSuffix() string {
+	if d.Modules < 2 {
+		return ""
+	}
+	s := fmtInt("+M", d.Modules, "")
+	if d.LinkGBps > 0 && d.LinkGBps != DefaultLinkGBps {
+		s += fmtInt("+G", d.LinkGBps, "")
+	}
+	if d.LinkLat > 0 && d.LinkLat != DefaultLinkLat {
+		s += fmtInt("+Lat", int(d.LinkLat), "")
+	}
+	if d.PrivateAS {
+		s += "+Priv"
+	}
+	return s
+}
+
+func (d Design) baseName() string {
 	switch d.Kind {
 	case Baseline:
 		n := "Baseline"

@@ -96,9 +96,17 @@ func NewSystemChecked(cfg Config, d Design, app workload.Source, opts ...BuildOp
 // on the DC-L1 bridge queues and L2 ingress queues.
 func (s *System) NewMonitor() *health.Monitor {
 	m := health.NewMonitor()
+	s.contributeMonitor(m)
+	return m
+}
 
+// contributeMonitor adds this system's probes, checkers, watchers, and dump
+// contributors to an existing monitor. NewMonitor wraps it for a standalone
+// system; a multi-GPU Machine folds every module into one monitor (probe
+// names carry the module prefix, so the subsystems stay distinguishable).
+func (s *System) contributeMonitor(m *health.Monitor) {
 	m.AddProbe(health.Probe{
-		Name: "cores",
+		Name: s.cname("cores"),
 		Sample: func() int64 {
 			var v int64
 			for _, c := range s.Cores {
@@ -116,7 +124,7 @@ func (s *System) NewMonitor() *health.Monitor {
 		},
 	})
 	m.AddProbe(health.Probe{
-		Name: "l1-nodes",
+		Name: s.cname("l1-nodes"),
 		Sample: func() int64 {
 			var v int64
 			for _, n := range s.Nodes {
@@ -134,7 +142,7 @@ func (s *System) NewMonitor() *health.Monitor {
 		},
 	})
 	m.AddProbe(health.Probe{
-		Name: "l2",
+		Name: s.cname("l2"),
 		Sample: func() int64 {
 			var v int64
 			for _, l2 := range s.L2 {
@@ -152,7 +160,7 @@ func (s *System) NewMonitor() *health.Monitor {
 		},
 	})
 	m.AddProbe(health.Probe{
-		Name: "noc",
+		Name: s.cname("noc"),
 		Sample: func() int64 {
 			var v int64
 			for _, x := range s.crossbars() {
@@ -176,7 +184,7 @@ func (s *System) NewMonitor() *health.Monitor {
 		},
 	})
 	m.AddProbe(health.Probe{
-		Name: "dram",
+		Name: s.cname("dram"),
 		Sample: func() int64 {
 			var v int64
 			for _, dc := range s.Drams {
@@ -231,7 +239,6 @@ func (s *System) NewMonitor() *health.Monitor {
 		m.AddChecker(s.MeshRep)
 		m.AddDumper(s.MeshRep.DumpHealth)
 	}
-	return m
 }
 
 // crossbars returns every crossbar of the design, NoC#1 then NoC#2.
@@ -337,11 +344,20 @@ func (s *System) healthClocks() []health.ClockState {
 
 // RunChecked builds the system and executes it under the health layer,
 // returning typed errors (validation, deadlock, deadline, invariant audit,
-// recovered panic) instead of hanging or crashing.
+// recovered panic) instead of hanging or crashing. Designs with Modules >= 2
+// build a multi-GPU Machine; everything else builds the classic single-module
+// System.
 func RunChecked(cfg Config, d Design, app workload.Source, opts HealthOptions) (Results, error) {
 	var bo []BuildOption
 	if opts.NoPool {
 		bo = append(bo, WithoutPool())
+	}
+	if d.Modules >= 2 {
+		m, err := NewMachineChecked(cfg, d, app, bo...)
+		if err != nil {
+			return Results{}, err
+		}
+		return m.RunChecked(opts)
 	}
 	s, err := NewSystemChecked(cfg, d, app, bo...)
 	if err != nil {

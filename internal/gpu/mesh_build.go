@@ -33,7 +33,7 @@ func (s *System) wireMeshNoC() {
 	w, h := meshShape(total)
 	mk := func(name string) *noc.Mesh {
 		return noc.NewMesh(noc.MeshParams{
-			Name: name, W: w, H: h, LinkBytes: s.D.FlitBytes,
+			Name: s.cname(name), W: w, H: h, LinkBytes: s.D.FlitBytes,
 		})
 	}
 	req := mk("mesh-req")

@@ -17,11 +17,17 @@ import (
 // building it always keeps the series set — and therefore Results, which is
 // a view over the registry — identical whether or not telemetry is attached.
 func (s *System) registerMetrics() {
-	r := metrics.NewRegistry()
-	s.Reg = r
+	// A multi-GPU machine shares one registry across modules (injected via
+	// fabric before build); component names carry the "m<i>." prefix, so the
+	// series sets stay disjoint.
+	r := s.Reg
+	if r == nil {
+		r = metrics.NewRegistry()
+		s.Reg = r
+	}
 
 	for i, co := range s.Cores {
-		co.RegisterMetrics(r, fmt.Sprintf("core-%d", i))
+		co.RegisterMetrics(r, s.cname(fmt.Sprintf("core-%d", i)))
 	}
 	for _, nd := range s.Nodes {
 		nd.RegisterMetrics(r, "core")
@@ -45,25 +51,25 @@ func (s *System) registerMetrics() {
 		x.RegisterMetrics(r, "noc2", "noc2", true)
 	}
 	if s.MeshReq != nil {
-		s.MeshReq.RegisterMetrics(r, "mesh-req", "noc2", "noc2")
-		s.MeshRep.RegisterMetrics(r, "mesh-rep", "noc2", "noc2")
+		s.MeshReq.RegisterMetrics(r, s.cname("mesh-req"), "noc2", "noc2")
+		s.MeshRep.RegisterMetrics(r, s.cname("mesh-rep"), "noc2", "noc2")
 	}
 
-	r.Gauge("tracker", "core", "l1_replicas_mean",
+	r.Gauge(s.cname("tracker"), "core", "l1_replicas_mean",
 		"mean copies per cached line, sampled at line install",
 		func() float64 { return s.Tracker.MeanReplicas() })
-	r.Counter("chaos", "core", "chaos_faults_total",
+	r.Counter(s.cname("chaos"), "core", "chaos_faults_total",
 		"fault occurrences across all chaos injectors",
 		func() int64 { return s.FaultsInjected() })
 
 	s.meter = power.NewMeter(s.buildZones())
 	for _, name := range s.meter.Zones() {
 		zone := name
-		r.Gauge("zone-"+zone, "core", "power_zone_watts",
+		r.Gauge(s.cname("zone-"+zone), "core", "power_zone_watts",
 			"metered zone power over the last sample window",
 			func() float64 { return s.meter.Watts(zone) })
 	}
-	r.Gauge("governor", "core", "power_throttle_level",
+	r.Gauge(s.cname("governor"), "core", "power_throttle_level",
 		"governor duty-cycle level (eighths of issue slots withheld)",
 		func() float64 {
 			if s.gov == nil {
@@ -71,7 +77,7 @@ func (s *System) registerMetrics() {
 			}
 			return float64(s.gov.level)
 		})
-	r.Gauge("governor", "core", "power_effective_core_mhz",
+	r.Gauge(s.cname("governor"), "core", "power_effective_core_mhz",
 		"core frequency equivalent of the current duty cycle",
 		func() float64 {
 			level := 0
@@ -80,7 +86,7 @@ func (s *System) registerMetrics() {
 			}
 			return float64(s.Cfg.CoreMHz) * float64(8-level) / 8
 		})
-	r.Gauge("governor", "core", "power_cap_budget_watts",
+	r.Gauge(s.cname("governor"), "core", "power_cap_budget_watts",
 		"armed power budget (0 when uncapped)",
 		func() float64 {
 			if s.gov == nil {

@@ -43,10 +43,23 @@ type Results struct {
 
 	// Per-node port utilizations (ascending node id), for Fig 17.
 	L1PortUtil []float64
+
+	// Multi-GPU machine figures, present only when the design builds two or
+	// more linked modules (omitted from JSON on single-module runs, keeping
+	// their output byte-identical to the pre-module simulator).
+	Modules     int       `json:",omitempty"` // module count of the machine
+	ModuleIPC   []float64 `json:",omitempty"` // per-module IPC (ascending module id)
+	LinkFlits   int64     `json:",omitempty"` // flits moved on the inter-module link, both directions
+	MaxLinkUtil float64   `json:",omitempty"` // max link reply-direction output utilization
 }
 
-// Run executes the app on the design and returns measurements.
+// Run executes the app on the design and returns measurements. Designs with
+// Modules >= 2 build a multi-GPU Machine; everything else builds the classic
+// single-module System.
 func Run(cfg Config, d Design, app workload.Source) Results {
+	if d.Modules >= 2 {
+		return NewMachine(cfg, d, app).Run()
+	}
 	s := NewSystem(cfg, d, app)
 	return s.Run()
 }

@@ -67,6 +67,11 @@ type Access struct {
 
 	IsReply bool
 
+	// Module is the GPU module that issued this access, for traffic that
+	// crosses the inter-module link in a multi-GPU machine: the home module
+	// routes the fill back to Module. Always 0 in a single-module build.
+	Module int
+
 	// IssuedAt is the issuing core-clock cycle, for round-trip statistics.
 	IssuedAt int64
 }
@@ -105,14 +110,36 @@ func FlitCount(payloadBytes, linkBytes int) int {
 	return 1 + (payloadBytes+linkBytes-1)/linkBytes
 }
 
+// ModuleStride is the number of consecutive lines (4 KB) that share a home
+// module in the partitioned multi-GPU address space. Coarser than the L2
+// slice interleave so a module keeps page-sized chunks local, finer than a
+// workload's footprint so DRAM capacity still spreads across modules.
+const ModuleStride = 32
+
 // AddressMap fixes how lines map onto L2 slices, memory channels, DRAM banks
 // and rows. All designs share the L2/memory side; DC-L1 home selection is
 // design-specific and lives in package dcl1.
+//
+// In a multi-GPU machine each module holds its own AddressMap with Modules
+// and Module set: the per-module L2/DRAM geometry is unchanged, and the
+// module fields only decide whether a line's backing DRAM is local or behind
+// the inter-module link.
 type AddressMap struct {
 	L2Slices int
 	Channels int
 	Banks    int
 	RowLines int // lines per DRAM row (row size / LineBytes)
+
+	// Modules and Module place this map inside a multi-GPU machine: Modules
+	// is the machine's module count (0 or 1 = single-module), Module the
+	// index of the module owning this map.
+	Modules int
+	Module  int
+
+	// Private selects the replicated address-space mode: every module owns a
+	// full copy of the address space, all lines are local, and the
+	// inter-module link stays idle.
+	Private bool
 }
 
 // L2Slice returns the L2 slice holding a line. Lines interleave across slices
@@ -146,4 +173,24 @@ func (m AddressMap) Bank(line uint64) int {
 // Row returns the DRAM row index within a bank.
 func (m AddressMap) Row(line uint64) uint64 {
 	return line / uint64(m.RowLines) / uint64(m.Banks)
+}
+
+// HomeModule returns the module whose DRAM backs a line in the partitioned
+// address space: ModuleStride-line chunks interleave round-robin across
+// modules. Meaningless (always 0) for single-module or private maps.
+func (m AddressMap) HomeModule(line uint64) int {
+	if m.Modules <= 1 {
+		return 0
+	}
+	return int((line / ModuleStride) % uint64(m.Modules))
+}
+
+// Local reports whether a line's backing DRAM is on this map's module — true
+// for every line in single-module machines and in the private (replicated)
+// address-space mode; otherwise true only for lines homed here.
+func (m AddressMap) Local(line uint64) bool {
+	if m.Modules <= 1 || m.Private {
+		return true
+	}
+	return m.HomeModule(line) == m.Module
 }

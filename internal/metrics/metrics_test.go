@@ -242,3 +242,61 @@ func TestLintPromRejects(t *testing.T) {
 		}
 	}
 }
+
+// TestPromModuleLabel checks the exposition derives a module label from the
+// "m<N>." component prefix multi-GPU machines stamp on per-module series,
+// and leaves unprefixed (single-module and machine-level) components alone.
+func TestPromModuleLabel(t *testing.T) {
+	b := Batch{Design: "Sh4+M2", App: "A", Samples: []Sample{
+		{ID: "m0.core-0/core/x_total", Kind: KindCounter, Value: 1},
+		{ID: "m12.l2-3/cache/x_total", Kind: KindCounter, Value: 2},
+		{ID: "link-req/link/x_total", Kind: KindCounter, Value: 3},
+		{ID: "mesh-req/noc/x_total", Kind: KindCounter, Value: 4},
+	}}
+	var page bytes.Buffer
+	if err := WriteProm(&page, &b); err != nil {
+		t.Fatalf("WriteProm: %v", err)
+	}
+	text := page.String()
+	for _, want := range []string{
+		`component="core-0",domain="core",module="m0"`,
+		`component="l2-3",domain="cache",module="m12"`,
+		`component="link-req",domain="link"} `,
+		`component="mesh-req",domain="noc"} `,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `component="mesh-req",domain="noc",module=`) {
+		t.Errorf("mesh-req wrongly gained a module label:\n%s", text)
+	}
+	if err := LintProm(strings.NewReader(text)); err != nil {
+		t.Errorf("LintProm rejected module-labelled exposition: %v\n%s", err, text)
+	}
+}
+
+// TestSplitModuleComp pins the prefix grammar: "m" + digits + "." + rest.
+func TestSplitModuleComp(t *testing.T) {
+	cases := []struct {
+		comp, module, rest string
+		ok                 bool
+	}{
+		{"m0.core-0", "m0", "core-0", true},
+		{"m7.l1-12", "m7", "l1-12", true},
+		{"m10.tracker", "m10", "tracker", true},
+		{"core-0", "", "", false},
+		{"mesh-req", "", "", false},
+		{"m.x", "", "", false},
+		{"m0.", "", "", false},
+		{"m0", "", "", false},
+		{"x0.y", "", "", false},
+	}
+	for _, c := range cases {
+		mod, rest, ok := splitModuleComp(c.comp)
+		if mod != c.module || rest != c.rest || ok != c.ok {
+			t.Errorf("splitModuleComp(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.comp, mod, rest, ok, c.module, c.rest, c.ok)
+		}
+	}
+}

@@ -66,8 +66,31 @@ func WriteProm(w io.Writer, batches ...*Batch) error {
 }
 
 func promLabels(design, app, comp, domain string) string {
+	if mod, rest, ok := splitModuleComp(comp); ok {
+		return fmt.Sprintf("design=%q,app=%q,component=%q,domain=%q,module=%q",
+			promEscape(design), promEscape(app), promEscape(rest), promEscape(domain), mod)
+	}
 	return fmt.Sprintf("design=%q,app=%q,component=%q,domain=%q",
 		promEscape(design), promEscape(app), promEscape(comp), promEscape(domain))
+}
+
+// splitModuleComp recognizes the "m<N>." component prefix multi-GPU machines
+// stamp on every per-module component (see gpu.Machine) and splits it into
+// the module label and the bare component name. Components without the
+// prefix — single-module runs and machine-level parts like the inter-module
+// link — carry no module label.
+func splitModuleComp(comp string) (module, rest string, ok bool) {
+	if len(comp) < 3 || comp[0] != 'm' {
+		return "", "", false
+	}
+	i := 1
+	for i < len(comp) && comp[i] >= '0' && comp[i] <= '9' {
+		i++
+	}
+	if i == 1 || i == len(comp) || comp[i] != '.' || i+1 == len(comp) {
+		return "", "", false
+	}
+	return comp[:i], comp[i+1:], true
 }
 
 func promEscape(s string) string {

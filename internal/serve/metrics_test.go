@@ -182,3 +182,96 @@ func waitJobDone(t *testing.T, url, id string) JobStatus {
 	t.Fatalf("job %s did not finish", id)
 	return JobStatus{}
 }
+
+// TestMetricsEndpointMultiModule runs a 4-module sweep point end-to-end
+// through the service and checks the live metrics surface carries the
+// multi-GPU structure: the NDJSON stream names per-module components
+// ("m0."…"m3." series id prefixes) plus the inter-module link, and the
+// Prometheus snapshot exposes them under module labels with the link's flit
+// counter — all while staying lintable.
+func TestMetricsEndpointMultiModule(t *testing.T) {
+	s, ts := newTestService(t, Options{Workers: 1, MetricsEvery: 256})
+	defer closeServer(t, s)
+
+	spec := testSpec(t, 0, "Sh4")
+	spec.Modules = 4
+	spec.LinkGBps = 32
+	got, err := ParseSweepSpec(spec.Encode())
+	if err != nil {
+		t.Fatalf("multi-module spec does not parse: %v", err)
+	}
+	resp := postSpec(t, ts.URL, "", string(got.Encode()))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+
+	fresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/metrics?follow=1")
+	if err != nil {
+		t.Fatalf("follow: %v", err)
+	}
+	defer fresp.Body.Close()
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(fresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var b metrics.Batch
+		if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
+			t.Fatalf("bad metrics line %q: %v", sc.Text(), err)
+		}
+		if b.Design != "Sh4+M4+G32" {
+			t.Fatalf("batch design %q, want the assembled module point", b.Design)
+		}
+		for i := range b.Samples {
+			comp, _, _ := metrics.SplitID(b.Samples[i].ID)
+			seen[strings.SplitN(comp, ".", 2)[0]] = true
+			if comp == "link-req" || comp == "link-rep" {
+				seen["link"] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	for _, want := range []string{"m0", "m1", "m2", "m3", "link"} {
+		if !seen[want] {
+			t.Fatalf("stream never sampled %q components (saw %v)", want, seen)
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		presp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/metrics")
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		if presp.StatusCode == http.StatusNoContent && time.Now().Before(deadline) {
+			presp.Body.Close()
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if presp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape status %d", presp.StatusCode)
+		}
+		page, _ := io.ReadAll(presp.Body)
+		presp.Body.Close()
+		if err := metrics.LintProm(strings.NewReader(string(page))); err != nil {
+			t.Fatalf("exposition lint: %v\n%s", err, page)
+		}
+		for _, want := range []string{
+			`module="m0"`, `module="m3"`,
+			`component="core-0",domain="core",module="m1"`,
+			"dcl1_link_flits_total",
+			`component="link-req",domain="link"`,
+		} {
+			if !strings.Contains(string(page), want) {
+				t.Errorf("exposition missing %q", want)
+			}
+		}
+		break
+	}
+}

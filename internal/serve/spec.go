@@ -69,6 +69,16 @@ type SweepSpec struct {
 	// zeroed when chaos is off.
 	Chaos     string `json:"chaos,omitempty"`
 	ChaosSeed uint64 `json:"chaos_seed,omitempty"`
+	// Modules assembles every design point into a multi-GPU machine of this
+	// many linked modules (2..dcl1.MaxModules; 0 or 1 = single module).
+	// Designs that spell their own +M<n> suffix keep it — the spec value
+	// only fills designs without one, so a single sweep can mix module
+	// counts. LinkGBps and LinkLat tune the inter-module link of the
+	// spec-assembled points (0 = simulator defaults); they require a
+	// multi-module Modules value.
+	Modules  int `json:"modules,omitempty"`
+	LinkGBps int `json:"link_gbps,omitempty"`
+	LinkLat  int `json:"link_lat,omitempty"`
 }
 
 // ParseSweepSpec decodes and validates one sweep spec. It is the public
@@ -131,6 +141,21 @@ func (s *SweepSpec) normalize() error {
 		if dim.v < 0 || dim.v > MaxSpecMachineDim {
 			return fmt.Errorf("serve: %s %d outside [0, %d]", dim.name, dim.v, MaxSpecMachineDim)
 		}
+	}
+	if s.Modules == 1 {
+		s.Modules = 0 // canonical single-module spelling
+	}
+	if s.Modules < 0 || s.Modules > dcl1.MaxModules {
+		return fmt.Errorf("serve: modules %d outside [0, %d]", s.Modules, dcl1.MaxModules)
+	}
+	if s.LinkGBps < 0 || s.LinkGBps > gpu.MaxLinkGBps {
+		return fmt.Errorf("serve: link_gbps %d outside [0, %d]", s.LinkGBps, gpu.MaxLinkGBps)
+	}
+	if s.LinkLat < 0 || s.LinkLat > gpu.MaxLinkLat {
+		return fmt.Errorf("serve: link_lat %d outside [0, %d]", s.LinkLat, gpu.MaxLinkLat)
+	}
+	if (s.LinkGBps > 0 || s.LinkLat > 0) && s.Modules < 2 {
+		return fmt.Errorf("serve: link_gbps/link_lat require modules >= 2")
 	}
 	if s.Chaos == "off" {
 		s.Chaos = ""
@@ -196,6 +221,15 @@ func (s SweepSpec) Jobs() (jobs []gpu.Job, errs []error) {
 		if err != nil {
 			errs[i] = err
 			continue
+		}
+		if s.Modules >= 2 && d.Modules == 0 {
+			d.Modules = s.Modules
+			if s.LinkGBps > 0 {
+				d.LinkGBps = s.LinkGBps
+			}
+			if s.LinkLat > 0 {
+				d.LinkLat = sim.Cycle(s.LinkLat)
+			}
 		}
 		if err := d.Validate(cfg); err != nil {
 			errs[i] = err

@@ -18,6 +18,13 @@ func FuzzParseSweepSpec(f *testing.F) {
 	f.Add([]byte(`{"app":"T-AlexNet","designs":["Sh40"],"chaos":"light","chaos_seed":3}`))
 	f.Add([]byte(`{"app":"T-AlexNet","designs":["Baseline"],"chaos":"off","chaos_seed":9}`))
 	f.Add([]byte(`{"app":"T-AlexNet","designs":["Pr4"],"cores":8,"l2_slices":4,"channels":2}`))
+	f.Add([]byte(`{"app":"T-AlexNet","designs":["Baseline","Sh40"],"modules":4}`))
+	f.Add([]byte(`{"app":"T-AlexNet","designs":["Sh40"],"modules":2,"link_gbps":128,"link_lat":16}`))
+	f.Add([]byte(`{"app":"T-AlexNet","designs":["Sh40+M4+G128"],"cores":8,"l2_slices":4,"channels":2}`))
+	f.Add([]byte(`{"app":"T-AlexNet","designs":["Sh40"],"modules":1}`))
+	f.Add([]byte(`{"app":"T-AlexNet","designs":["Sh40"],"modules":9}`))
+	f.Add([]byte(`{"app":"T-AlexNet","designs":["Sh40"],"link_gbps":64}`))
+	f.Add([]byte(`{"app":"T-AlexNet","designs":["Sh40"],"modules":2,"link_lat":-1}`))
 	f.Add([]byte(`{"designs":["Baseline"]}`))
 	f.Add([]byte(`{"app":"T-AlexNet","designs":[]}`))
 	f.Add([]byte(`{"app":"T-AlexNet","designs":["Baseline"]} trailing`))

@@ -79,6 +79,79 @@ func (p partitioned) Program(cores, coreID, waveID int, sched Sched, seed uint64
 	return shifted.Program(cores, coreID, waveID, sched, seed+uint64(idx)*977)
 }
 
+// ModuleSource lets a Source customize per-module tenant placement in a
+// multi-GPU machine: the builder calls ForModule once per module and programs
+// that module's cores from the returned Source. Sources that do not implement
+// it run the same program image on every module.
+type ModuleSource interface {
+	Source
+	// ForModule returns the Source programming one module's cores.
+	ForModule(module, modules int) Source
+}
+
+// ModuleMix places one tenant application per GPU module — the multi-GPU
+// multiprogramming scenario (each module leased to a different job). Apps are
+// assigned round-robin: module m runs Apps[m % len(Apps)]. Each tenant keeps
+// its own shared region (shifted per module) and a per-module seed offset,
+// the same isolation idiom Partition uses within one module. Used as a plain
+// Source (single-module machine), it runs Apps[0] unshifted.
+type ModuleMix struct {
+	Apps []Spec
+}
+
+var _ ModuleSource = ModuleMix{}
+
+// Label implements Source.
+func (m ModuleMix) Label() string {
+	names := make([]string, len(m.Apps))
+	for i, a := range m.Apps {
+		names[i] = a.Name
+	}
+	return strings.Join(names, "/")
+}
+
+// WavesFor implements Source (module 0's tenant).
+func (m ModuleMix) WavesFor(coreID int) int {
+	if len(m.Apps) == 0 {
+		return 0
+	}
+	return m.Apps[0].WavesFor(coreID)
+}
+
+// Program implements Source (module 0's tenant, unshifted).
+func (m ModuleMix) Program(cores, coreID, waveID int, sched Sched, seed uint64) core.Program {
+	return m.Apps[0].Program(cores, coreID, waveID, sched, seed)
+}
+
+// ForModule implements ModuleSource. It panics when the mix has no apps.
+func (m ModuleMix) ForModule(module, modules int) Source {
+	if len(m.Apps) == 0 {
+		panic("workload: ModuleMix needs at least one app")
+	}
+	return moduleTenant{spec: m.Apps[module%len(m.Apps)], idx: module}
+}
+
+// moduleTenant is one module's view of a ModuleMix: the tenant spec with the
+// module-scoped shared-region shift and seed offset applied.
+type moduleTenant struct {
+	spec Spec
+	idx  int
+}
+
+// Label implements Source.
+func (t moduleTenant) Label() string { return t.spec.Name }
+
+// WavesFor implements Source.
+func (t moduleTenant) WavesFor(coreID int) int { return t.spec.WavesFor(coreID) }
+
+// Program implements Source. Module 0 runs its tenant exactly as a
+// single-module machine would (zero shift, zero seed offset).
+func (t moduleTenant) Program(cores, coreID, waveID int, sched Sched, seed uint64) core.Program {
+	shifted := t.spec
+	shifted.shiftShared = uint64(t.idx) * (1 << 24)
+	return shifted.Program(cores, coreID, waveID, sched, seed+uint64(t.idx)*977)
+}
+
 // Partition implements Source directly too (blockCores derived lazily per
 // call via the cores argument) — but WavesFor lacks the core count, so the
 // explicit NewPartition constructor is the supported path.

@@ -14,8 +14,12 @@ func FuzzParseDesign(f *testing.F) {
 		"Sh40+C10", "Sh40+C10+Boost", "Sh40+C5+PerfectL1",
 		"Baseline+2xNoC", "Pr40+Boost", "CDXBar+2xNoC1", "Baseline+4xL1",
 		"Sh40+C10+Boost+2xL1",
+		"Sh40+M2", "Sh40+M4+G128+Lat16+Priv", "Pr40+M2", "Baseline+M8",
+		"Sh40+C10+Boost+M4+G256", "CDXBar+M2+Priv",
 		"", "Pr", "Pr0", "Pr-5", "Sh40+", "Sh40+C0", "Baseline+C10",
 		"bogus", "Sh40+junk", "Pr40 ", "+Boost",
+		"Sh40+M1", "Sh40+M9", "Sh40+M0", "Sh40+M-2", "Sh40+G64",
+		"Baseline+Priv", "Sh40+Lat8", "Sh40+M2+G0", "Sh40+M2+Lat0",
 	} {
 		f.Add(s)
 	}
