@@ -48,16 +48,33 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-drain bound on SIGTERM; in-flight points beyond it are canceled and recovered on restart")
 		verbose      = flag.Bool("v", false, "log each point as it runs")
 
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "farm lease TTL: a worker that misses heartbeats this long has its points requeued")
+		leaseMax    = flag.Int("lease-max-points", 64, "cap on points per farm lease grant")
+		poison      = flag.Int("poison", 3, "lease expiries that park a point as poison instead of requeuing it (negative disables)")
+		coordinator = flag.Bool("coordinator", false, "run no local workers: farm workers (dcl1worker) do all the simulating")
+
+		storeMaxAge   = flag.Duration("store-max-age", 0, "drop result-store entries older than this at compaction (0 = keep forever)")
+		storeMaxBytes = flag.Int64("store-max-bytes", 0, "bound the compacted result store size, dropping oldest entries first (0 = unbounded)")
+		compactEvery  = flag.Duration("compact-every", 0, "result-store compaction period when a bound is set (0 = hourly)")
+
 		health    cliflags.Health
 		engine    = cliflags.Engine{Workers: 0}
 		retry     = cliflags.Retry{Retries: 1, PointDeadline: 2 * time.Minute}
 		telemetry cliflags.Telemetry
+		auth      cliflags.Auth
 	)
 	health.Register(flag.CommandLine)
 	engine.Register(flag.CommandLine)
 	retry.Register(flag.CommandLine)
 	telemetry.RegisterEvery(flag.CommandLine)
+	auth.Register(flag.CommandLine)
 	flag.Parse()
+
+	tokens, err := auth.Load()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -76,6 +93,14 @@ func main() {
 		StallWindow:       health.StallWindow,
 		Deadline:          health.Deadline,
 		MetricsEvery:      telemetry.Every,
+		LeaseTTL:          *leaseTTL,
+		LeaseMaxPoints:    *leaseMax,
+		PoisonThreshold:   *poison,
+		CoordinatorOnly:   *coordinator,
+		AuthTokens:        tokens,
+		StoreMaxAge:       *storeMaxAge,
+		StoreMaxBytes:     *storeMaxBytes,
+		CompactEvery:      *compactEvery,
 	}
 	if *verbose {
 		opt.Progress = os.Stderr

@@ -31,16 +31,16 @@ import (
 
 func main() {
 	var (
-		appName = flag.String("app", "T-AlexNet", "application name (see -list)")
-		design  = flag.String("design", "Sh40+C10+Boost", "design: Baseline, PrY, ShY, ShY+CZ[+Boost], CDXBar[+2xNoC[1]], SingleL1")
-		cores   = flag.Int("cores", 0, "core count (default 80)")
-		cycles  = flag.Int64("cycles", 0, "measurement window in core cycles (default 40000)")
-		warmup  = flag.Int64("warmup", 0, "warmup window in core cycles (default 10000)")
-		sched   = flag.String("sched", "rr", "CTA scheduler: rr or distributed")
-		seed    = flag.Uint64("seed", 1, "workload seed")
-		list    = flag.Bool("list", false, "list applications and exit")
-		cfgPath = flag.String("config", "", "machine configuration JSON file (overrides other machine flags)")
-		asJSON  = flag.Bool("json", false, "emit results as JSON")
+		appName  = flag.String("app", "T-AlexNet", "application name (see -list)")
+		design   = flag.String("design", "Sh40+C10+Boost", "design: Baseline, PrY, ShY, ShY+CZ[+Boost], CDXBar[+2xNoC[1]], SingleL1")
+		cores    = flag.Int("cores", 0, "core count (default 80)")
+		cycles   = flag.Int64("cycles", 0, "measurement window in core cycles (default 40000)")
+		warmup   = flag.Int64("warmup", 0, "warmup window in core cycles (default 10000)")
+		sched    = flag.String("sched", "rr", "CTA scheduler: rr or distributed")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		list     = flag.Bool("list", false, "list applications and exit")
+		cfgPath  = flag.String("config", "", "machine configuration JSON file (overrides other machine flags)")
+		asJSON   = flag.Bool("json", false, "emit results as JSON")
 		dumpPath = flag.String("health-dump", "", "write the diagnostic dump of a failed run to this file (default stderr)")
 
 		health    cliflags.Health

@@ -21,6 +21,7 @@ import (
 	"dcl1sim/internal/experiments"
 	"dcl1sim/internal/metrics"
 	"dcl1sim/internal/power"
+	"dcl1sim/internal/serve"
 	"dcl1sim/internal/sim"
 )
 
@@ -197,6 +198,34 @@ func (m *Multi) ApplyDesign(d *dcl1.Design) error {
 		d.LinkLat = sim.Cycle(m.LinkLat)
 	}
 	return nil
+}
+
+// Auth is the static bearer-token group shared by dcl1serve (which loads a
+// whole tenant table) and dcl1worker (which presents one token).
+type Auth struct {
+	Tokens    string
+	TokenFile string
+}
+
+func (a *Auth) Register(fs *flag.FlagSet) {
+	fs.StringVar(&a.Tokens, "auth-tokens", a.Tokens,
+		"require bearer-token auth on mutating endpoints: comma-separated tenant=token pairs (tokens visible in ps; prefer -auth-token-file)")
+	fs.StringVar(&a.TokenFile, "auth-token-file", a.TokenFile,
+		"require bearer-token auth: file of tenant=token lines (blank lines and #-comments ignored)")
+}
+
+// Load resolves the group into the tenant→token table (nil when auth is
+// off). The two sources are mutually exclusive.
+func (a *Auth) Load() (map[string]string, error) {
+	switch {
+	case a.Tokens != "" && a.TokenFile != "":
+		return nil, fmt.Errorf("-auth-tokens and -auth-token-file are mutually exclusive")
+	case a.Tokens != "":
+		return serve.ParseAuthTokens(a.Tokens)
+	case a.TokenFile != "":
+		return serve.LoadAuthTokenFile(a.TokenFile)
+	}
+	return nil, nil
 }
 
 // Telemetry is the live-metrics group: -metrics-out and -metrics-every

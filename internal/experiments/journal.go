@@ -4,8 +4,11 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"sync"
+	"time"
 
 	"dcl1sim/internal/gpu"
 	"dcl1sim/internal/workload"
@@ -49,8 +52,9 @@ func appLabel(app workload.Source) (label string) {
 // line, and garbled whole lines are surfaced to the caller's line callback to
 // skip rather than aborting the open. Safe for concurrent use.
 type Log struct {
-	mu sync.Mutex
-	f  *os.File
+	mu   sync.Mutex
+	path string
+	f    *os.File
 }
 
 // OpenLog opens (or creates) the JSONL log at path, invokes line for every
@@ -87,7 +91,55 @@ func OpenLog(path string, line func([]byte)) (*Log, error) {
 			f.Write([]byte("\n"))
 		}
 	}
-	return &Log{f: f}, nil
+	return &Log{path: path, f: f}, nil
+}
+
+// Rewrite atomically replaces the log's contents with whatever fill writes:
+// the new contents land in a temp file, are fsynced, and are renamed over
+// the log path, so a kill at any instant leaves either the old file or the
+// complete new one — never a partial rewrite. The log stays open for
+// appending afterwards. Used by journal compaction.
+func (l *Log) Rewrite(fill func(io.Writer) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmp := l.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("experiments: rewrite log: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if err := fill(bw); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := bw.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("experiments: rewrite log: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("experiments: rewrite log: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("experiments: rewrite log: %w", err)
+	}
+	nf, err := os.OpenFile(l.path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("experiments: reopen log: %w", err)
+	}
+	if _, err := nf.Seek(0, 2); err != nil {
+		nf.Close()
+		return fmt.Errorf("experiments: reopen log: %w", err)
+	}
+	l.f.Close()
+	l.f = nf
+	return nil
 }
 
 // Append marshals v as one JSON line and fsyncs it: when Append returns nil
@@ -126,6 +178,10 @@ type journalEntry struct {
 	OK     bool        `json:"ok"`
 	Err    string      `json:"err,omitempty"`
 	Result gpu.Results `json:"result"`
+	// At is the record's unix timestamp, feeding the max-age compaction
+	// policy. Entries written before the field existed load as 0 and are
+	// treated as expired whenever a max-age bound is in force.
+	At int64 `json:"at,omitempty"`
 }
 
 // Journal persists completed sweep points to a JSONL file so an interrupted
@@ -142,6 +198,7 @@ type Journal struct {
 	mu     sync.Mutex
 	done   map[string]gpu.Results
 	failed map[string]string // key → error text of the last failed attempt
+	at     map[string]int64  // key → unix timestamp of the surviving entry
 	seen   int               // total entries loaded or recorded, including failures
 }
 
@@ -149,13 +206,14 @@ type Journal struct {
 // already present. A truncated or garbled tail line — the signature of a
 // killed process — is skipped, not fatal: the affected point simply re-runs.
 func OpenJournal(path string) (*Journal, error) {
-	j := &Journal{done: map[string]gpu.Results{}, failed: map[string]string{}}
+	j := &Journal{done: map[string]gpu.Results{}, failed: map[string]string{}, at: map[string]int64{}}
 	log, err := OpenLog(path, func(line []byte) {
 		var e journalEntry
 		if json.Unmarshal(line, &e) != nil || e.Key == "" {
 			return // damaged line (interrupted write): point re-runs
 		}
 		j.seen++
+		j.at[e.Key] = e.At
 		if e.OK {
 			j.done[e.Key] = e.Result
 			delete(j.failed, e.Key)
@@ -216,23 +274,110 @@ func (j *Journal) Record(key string, r gpu.Results, err error) {
 	if j == nil {
 		return
 	}
-	e := journalEntry{Key: key, OK: err == nil, Result: r}
+	e := journalEntry{Key: key, OK: err == nil, Result: r, At: time.Now().Unix()}
 	if err != nil {
 		e.Err = err.Error()
 		e.Result = gpu.Results{}
 	}
+	// Append under the journal mutex (lock order Journal.mu → Log.mu) so a
+	// concurrent Compact can never rewrite the file from a snapshot that
+	// misses a record whose Append already returned.
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.log.Append(e) != nil {
 		return // disk trouble degrades resumability, never the sweep itself
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
 	j.seen++
+	j.at[key] = e.At
 	if err == nil {
 		j.done[key] = r
 		delete(j.failed, key)
 	} else {
 		j.failed[key] = e.Err
 	}
+}
+
+// Compact rewrites the journal file keeping only live entries (the per-key
+// survivors already in memory) that pass the retention policy: entries older
+// than maxAge relative to now are dropped (entries recorded before the
+// timestamp field existed count as infinitely old), then oldest-first until
+// the encoded file fits maxBytes. Zero bounds disable their half of the
+// policy; Compact with both bounds zero still rewrites away superseded
+// duplicate lines. The rewrite is atomic (temp file + rename), surviving
+// entries re-encode byte-identically to what a fresh Record would write, and
+// the file order is deterministic (timestamp, then key). Returns how many
+// live entries were dropped.
+func (j *Journal) Compact(maxAge time.Duration, maxBytes int64, now time.Time) (int, error) {
+	if j == nil {
+		return 0, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	type row struct {
+		at   int64
+		key  string
+		line []byte
+	}
+	rows := make([]row, 0, len(j.done)+len(j.failed))
+	encode := func(e journalEntry) error {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("experiments: compact journal: %w", err)
+		}
+		rows = append(rows, row{at: e.At, key: e.Key, line: b})
+		return nil
+	}
+	for key, r := range j.done {
+		if err := encode(journalEntry{Key: key, OK: true, Result: r, At: j.at[key]}); err != nil {
+			return 0, err
+		}
+	}
+	for key, msg := range j.failed {
+		if err := encode(journalEntry{Key: key, Err: msg, At: j.at[key]}); err != nil {
+			return 0, err
+		}
+	}
+	sort.Slice(rows, func(i, k int) bool {
+		if rows[i].at != rows[k].at {
+			return rows[i].at < rows[k].at
+		}
+		return rows[i].key < rows[k].key
+	})
+	keepFrom := 0
+	if maxAge > 0 {
+		cutoff := now.Add(-maxAge).Unix()
+		for keepFrom < len(rows) && rows[keepFrom].at < cutoff {
+			keepFrom++
+		}
+	}
+	if maxBytes > 0 {
+		var total int64
+		for _, r := range rows[keepFrom:] {
+			total += int64(len(r.line)) + 1
+		}
+		for keepFrom < len(rows) && total > maxBytes {
+			total -= int64(len(rows[keepFrom].line)) + 1
+			keepFrom++
+		}
+	}
+	survivors := rows[keepFrom:]
+	if err := j.log.Rewrite(func(w io.Writer) error {
+		for _, r := range survivors {
+			if _, err := w.Write(append(r.line, '\n')); err != nil {
+				return fmt.Errorf("experiments: compact journal: %w", err)
+			}
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	for _, r := range rows[:keepFrom] {
+		delete(j.done, r.key)
+		delete(j.failed, r.key)
+		delete(j.at, r.key)
+	}
+	j.seen = len(survivors)
+	return keepFrom, nil
 }
 
 // Close releases the underlying file.

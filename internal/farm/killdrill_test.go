@@ -1,0 +1,206 @@
+package farm
+
+// The kill drill: real dcl1serve and dcl1worker binaries, a real SIGKILL.
+// A worker dying mid-point must cost nothing but time — the lease TTL
+// requeues its points, the surviving worker finishes the sweep, and every
+// result is byte-identical to a single-process run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dcl1sim/internal/serve"
+)
+
+// buildBinaries compiles the real commands into dir.
+func buildBinaries(t *testing.T, dir string, cmds ...string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, c := range cmds {
+		bin := filepath.Join(dir, c)
+		build := exec.Command("go", "build", "-o", bin, "dcl1sim/cmd/"+c)
+		build.Dir = "../.."
+		if b, err := build.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", c, err, b)
+		}
+		out[c] = bin
+	}
+	return out
+}
+
+// freeAddr reserves a listen address. The tiny close-then-bind race is
+// acceptable in a test.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func getJSON(url string, v interface{}) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// TestKillDrill SIGKILLs one of two farm workers while it holds leased
+// points mid-simulation and asserts the sweep still completes with results
+// byte-identical to direct in-process runs.
+func TestKillDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill drill builds and runs real binaries; skipped with -short")
+	}
+	bins := buildBinaries(t, t.TempDir(), "dcl1serve", "dcl1worker")
+
+	// Points sized to take long enough that a kill lands mid-simulation.
+	spec := serve.SweepSpec{
+		App: "T-AlexNet", Designs: []string{"Baseline", "Pr4", "Sh4", "Baseline+2xNoC"},
+		Cycles: 60000, Warmup: 2000,
+		Cores: 8, L2Slices: 4, Channels: 2,
+	}
+	parsed, err := serve.ParseSweepSpec(spec.Encode())
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	cold := coldResults(t, parsed)
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	dataDir := t.TempDir()
+	srv := exec.Command(bins["dcl1serve"],
+		"-addr", addr, "-data", dataDir,
+		"-coordinator",
+		"-lease-ttl", "2s",
+		"-lease-max-points", "2",
+		"-auth-tokens", "alice=a-secret,farm=f-secret",
+	)
+	srv.Stdout, srv.Stderr = os.Stderr, os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatalf("start dcl1serve: %v", err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	waitHTTP(t, base+"/healthz")
+
+	// Submit through the public API with the tenant token.
+	req, _ := http.NewRequest("POST", base+"/v1/jobs", strings.NewReader(string(parsed.Encode())))
+	req.Header.Set("Authorization", "Bearer a-secret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode submit: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit status = %d, want 201", resp.StatusCode)
+	}
+
+	// Two workers; each lease holds at most 2 of the 4 points, so both hold
+	// work at once.
+	startWorker := func(name string) *exec.Cmd {
+		w := exec.Command(bins["dcl1worker"],
+			"-server", base, "-name", name, "-token-env", "DCL1_TOKEN", "-v")
+		w.Env = append(os.Environ(), "DCL1_TOKEN=f-secret")
+		w.Stdout, w.Stderr = os.Stderr, os.Stderr
+		if err := w.Start(); err != nil {
+			t.Fatalf("start %s: %v", name, err)
+		}
+		return w
+	}
+	victim := startWorker("victim")
+	survivor := startWorker("survivor")
+	defer func() {
+		survivor.Process.Kill()
+		survivor.Wait()
+	}()
+
+	// Wait until the victim actually holds leased points, then SIGKILL it —
+	// no drain, no release, just a dead process.
+	deadline := time.Now().Add(60 * time.Second)
+	killed := false
+	for time.Now().Before(deadline) {
+		var stz serve.Statz
+		if err := getJSON(base+"/statz", &stz); err == nil {
+			for _, l := range stz.Leases {
+				if l.Worker == "victim" && l.Points > 0 {
+					killed = true
+				}
+			}
+		}
+		if killed {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !killed {
+		t.Fatalf("victim never held a lease; cannot drill the kill")
+	}
+	victim.Process.Kill()
+	victim.Wait()
+
+	// The sweep must still finish: the victim's lease expires after 2s and
+	// the survivor picks the points back up.
+	var fin serve.JobStatus
+	finDeadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(finDeadline) {
+		if err := getJSON(base+"/v1/jobs/"+st.ID, &fin); err == nil && fin.State == serve.StateDone {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if fin.State != serve.StateDone {
+		t.Fatalf("sweep did not finish after the kill: state = %q", fin.State)
+	}
+	assertByteIdentical(t, fin, cold)
+
+	// The drill must have exercised the recovery path it claims to test.
+	var stz serve.Statz
+	if err := getJSON(base+"/statz", &stz); err != nil {
+		t.Fatalf("statz: %v", err)
+	}
+	if stz.LeasesExpired < 1 {
+		t.Errorf("LeasesExpired = %d, want >= 1 (the victim's lease must have expired)", stz.LeasesExpired)
+	}
+	if stz.PointsRequeued < 1 {
+		t.Errorf("PointsRequeued = %d, want >= 1 (the victim's points must have been requeued)", stz.PointsRequeued)
+	}
+}
+
+func waitHTTP(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("%s never came up", url)
+}

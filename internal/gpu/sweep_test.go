@@ -30,7 +30,7 @@ func TestRunManyMatchesSerial(t *testing.T) {
 // which exercises safeLabel in the panic barrier's error construction.
 type panicApp struct{}
 
-func (panicApp) Label() string          { panic("injected label panic") }
+func (panicApp) Label() string           { panic("injected label panic") }
 func (panicApp) WavesFor(coreID int) int { panic("injected workload panic") }
 func (panicApp) Program(cores, coreID, waveID int, sched workload.Sched, seed uint64) core.Program {
 	panic("injected workload panic")

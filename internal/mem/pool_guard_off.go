@@ -6,8 +6,8 @@ package mem
 // -tags pooldebug to compile in the checking version (pool_guard_on.go).
 type putGuard struct{}
 
-func (putGuard) init()               {}
-func (putGuard) getAccess(*Access)   {}
-func (putGuard) putAccess(*Access)   {}
-func (putGuard) getPacket(*Packet)   {}
-func (putGuard) putPacket(*Packet)   {}
+func (putGuard) init()             {}
+func (putGuard) getAccess(*Access) {}
+func (putGuard) putAccess(*Access) {}
+func (putGuard) getPacket(*Packet) {}
+func (putGuard) putPacket(*Packet) {}

@@ -107,8 +107,8 @@ type Crossbar struct {
 	// fast-path-invariant; nil injects nothing.
 	Chaos *chaos.Injector
 
-	inj       []*sim.Port[*mem.Packet]    // per-input injection port (the two-phase boundary)
-	voq       [][]*sim.Queue[*mem.Packet] // [in][out]
+	inj []*sim.Port[*mem.Packet]    // per-input injection port (the two-phase boundary)
+	voq [][]*sim.Queue[*mem.Packet] // [in][out]
 
 	// credit[in][out] is the projected occupancy of voq[in][out]: committed
 	// VOQ contents plus packets toward out still in (or staged for) inj[in].
@@ -119,13 +119,13 @@ type Crossbar struct {
 	// (grants popping a VOQ) is recorded in granted during Tick and applied
 	// at the edge barrier (or at the end of Tick in immediate mode), so the
 	// two sides never race under sharded execution.
-	credit   [][]int32
-	granted  []credPair
-	attached bool
-	voqBits   [][]uint64                  // [out] bitmap of inputs with waiting packets
-	inBusy    []sim.Cycle                 // input link busy until cycle
-	outBusy   []sim.Cycle                 // output link busy until cycle
-	rr        []int                       // per-output round-robin pointer
+	credit    [][]int32
+	granted   []credPair
+	attached  bool
+	voqBits   [][]uint64  // [out] bitmap of inputs with waiting packets
+	inBusy    []sim.Cycle // input link busy until cycle
+	outBusy   []sim.Cycle // output link busy until cycle
+	rr        []int       // per-output round-robin pointer
 	inFlight  *sim.DelayQueue[*mem.Packet]
 	staged    []*sim.Queue[*mem.Packet] // per-output staging (post-traversal)
 	endpoints []Endpoint

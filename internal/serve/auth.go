@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Static bearer-token auth. When Options.AuthTokens is non-empty, every
+// mutating endpoint (job submission and the whole lease surface) requires
+// `Authorization: Bearer <token>`; the token — not a header the client
+// picks — determines the tenant, so quota accounting and the result streams
+// can no longer be confused by a mislabeled worker. An empty token table
+// preserves the original honor-system X-Tenant behavior for single-user and
+// test deployments.
+
+// validTenant checks a tenant name. Tenant names become map keys and log
+// fields, so the charset is restricted.
+func validTenant(t string) error {
+	if t == "" {
+		return fmt.Errorf("empty tenant name")
+	}
+	if len(t) > 64 {
+		return fmt.Errorf("tenant name longer than 64 bytes")
+	}
+	for _, c := range t {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("tenant name may only contain [A-Za-z0-9._-]")
+		}
+	}
+	return nil
+}
+
+// authIndex inverts the tenant→token table into the token→tenant index the
+// request path uses, validating both halves. Configuration errors (bad
+// tenant name, empty token, one token shared by two tenants) fail server
+// construction rather than silently mis-authenticating later.
+func authIndex(tokens map[string]string) (map[string]string, error) {
+	if len(tokens) == 0 {
+		return nil, nil
+	}
+	idx := make(map[string]string, len(tokens))
+	for tenant, token := range tokens {
+		if err := validTenant(tenant); err != nil {
+			return nil, fmt.Errorf("serve: auth tokens: %v", err)
+		}
+		if token == "" {
+			return nil, fmt.Errorf("serve: auth tokens: tenant %q has an empty token", tenant)
+		}
+		if other, dup := idx[token]; dup {
+			return nil, fmt.Errorf("serve: auth tokens: tenants %q and %q share a token", other, tenant)
+		}
+		idx[token] = tenant
+	}
+	return idx, nil
+}
+
+// ParseAuthTokens parses the -auth-tokens flag form "tenant=token,...".
+func ParseAuthTokens(s string) (map[string]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		tenant, token, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("serve: auth tokens: %q is not tenant=token", pair)
+		}
+		if _, dup := out[tenant]; dup {
+			return nil, fmt.Errorf("serve: auth tokens: tenant %q listed twice", tenant)
+		}
+		out[tenant] = token
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("serve: auth tokens: no tenant=token pairs")
+	}
+	return out, nil
+}
+
+// LoadAuthTokenFile reads a token table from a file of "tenant=token" lines
+// (blank lines and #-comments ignored) — the shape for tokens that must not
+// appear in `ps` output.
+func LoadAuthTokenFile(path string) (map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: auth token file: %w", err)
+	}
+	defer f.Close()
+	out := map[string]string{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tenant, token, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("serve: auth token file: %q is not tenant=token", line)
+		}
+		if _, dup := out[tenant]; dup {
+			return nil, fmt.Errorf("serve: auth token file: tenant %q listed twice", tenant)
+		}
+		out[tenant] = token
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: auth token file: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("serve: auth token file: no tenant=token lines")
+	}
+	return out, nil
+}
+
+// authTenant resolves the caller's tenant for a mutating endpoint. With
+// auth configured, the bearer token is matched in constant time against
+// every configured token and the match decides the tenant; missing or
+// unknown tokens get a clean 401 JSON error. Without auth it falls back to
+// the honor-system X-Tenant header. Returns ok=false after writing the
+// error response.
+func (s *Server) authTenant(w http.ResponseWriter, r *http.Request) (string, bool) {
+	if len(s.tokens) == 0 {
+		t, err := tenantOf(r)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad tenant: %v", err)
+			return "", false
+		}
+		return t, true
+	}
+	auth := r.Header.Get("Authorization")
+	presented, isBearer := strings.CutPrefix(auth, "Bearer ")
+	if !isBearer || presented == "" {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		writeError(w, http.StatusUnauthorized, "missing bearer token")
+		return "", false
+	}
+	tenant := ""
+	for token, t := range s.tokens {
+		// Compare every entry so timing doesn't leak which tokens exist.
+		if subtle.ConstantTimeCompare([]byte(token), []byte(presented)) == 1 {
+			tenant = t
+		}
+	}
+	if tenant == "" {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		writeError(w, http.StatusUnauthorized, "invalid bearer token")
+		return "", false
+	}
+	return tenant, true
+}

@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func authedPost(t *testing.T, url, path, bearer, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if bearer != "" {
+		req.Header.Set("Authorization", "Bearer "+bearer)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	return resp
+}
+
+func want401(t *testing.T, resp *http.Response, label string) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("%s: status = %d, want 401", label, resp.StatusCode)
+	}
+	if got := resp.Header.Get("WWW-Authenticate"); got != "Bearer" {
+		t.Errorf("%s: WWW-Authenticate = %q, want Bearer", label, got)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Errorf("%s: body is not a clean JSON error (%v)", label, err)
+	}
+}
+
+// TestAuthBearerTokens pins the bearer-token contract: with a token table
+// configured every mutating endpoint rejects missing and invalid tokens
+// with a 401 JSON error, the token alone — never X-Tenant — decides the
+// tenant, and read-only probes stay open.
+func TestAuthBearerTokens(t *testing.T) {
+	s, ts := newTestService(t, Options{
+		Workers:    1,
+		AuthTokens: map[string]string{"alice": "alice-secret", "bob": "bob-secret"},
+	})
+	defer closeServer(t, s)
+	spec := string(testSpec(t, 0, "Baseline").Encode())
+
+	want401(t, authedPost(t, ts.URL, "/v1/jobs", "", spec), "jobs no token")
+	want401(t, authedPost(t, ts.URL, "/v1/jobs", "wrong", spec), "jobs bad token")
+	want401(t, authedPost(t, ts.URL, "/v1/leases", "", `{"worker":"w0"}`), "lease acquire no token")
+	want401(t, authedPost(t, ts.URL, "/v1/leases", "wrong", `{"worker":"w0"}`), "lease acquire bad token")
+	want401(t, authedPost(t, ts.URL, "/v1/leases/l00000001/heartbeat", "", ""), "heartbeat no token")
+	want401(t, authedPost(t, ts.URL, "/v1/leases/l00000001/complete", "wrong", "{}"), "complete bad token")
+	want401(t, authedPost(t, ts.URL, "/v1/leases/l00000001/release", "", "{}"), "release no token")
+
+	// A valid token admits the job, and the token decides the tenant even
+	// when the client claims otherwise via X-Tenant.
+	req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	req.Header.Set("Authorization", "Bearer alice-secret")
+	req.Header.Set("X-Tenant", "mallory")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("authed submit: status = %d, want 201", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	if st.Tenant != "alice" {
+		t.Fatalf("tenant = %q, want alice (the token, not X-Tenant)", st.Tenant)
+	}
+	waitJob(t, s, st.ID)
+
+	// Unauthenticated reads stay open: probes and job status need no token.
+	for _, path := range []string{"/healthz", "/statz", "/v1/jobs/" + st.ID} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status = %d, want 200", path, r.StatusCode)
+		}
+	}
+}
+
+// TestAuthDisabledFallsBackToXTenant pins the legacy mode: an empty token
+// table keeps the honor-system X-Tenant header working untouched.
+func TestAuthDisabledFallsBackToXTenant(t *testing.T) {
+	s, ts := newTestService(t, Options{Workers: 1})
+	defer closeServer(t, s)
+	resp := postSpec(t, ts.URL, "carol", string(testSpec(t, 0, "Baseline").Encode()))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status = %d, want 201", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if st.Tenant != "carol" {
+		t.Fatalf("tenant = %q, want carol", st.Tenant)
+	}
+	waitJob(t, s, st.ID)
+}
+
+func TestParseAuthTokens(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    map[string]string
+		wantErr bool
+	}{
+		{in: "", want: nil},
+		{in: "alice=s1", want: map[string]string{"alice": "s1"}},
+		{in: " alice=s1 , bob=s2 ", want: map[string]string{"alice": "s1", "bob": "s2"}},
+		{in: "alice=s1,alice=s2", wantErr: true}, // tenant listed twice
+		{in: "alice", wantErr: true},             // not tenant=token
+		{in: ",,", wantErr: true},                // no pairs at all
+	}
+	for _, tc := range cases {
+		got, err := ParseAuthTokens(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseAuthTokens(%q): want error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseAuthTokens(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseAuthTokens(%q) = %v, want %v", tc.in, got, tc.want)
+			continue
+		}
+		for k, v := range tc.want {
+			if got[k] != v {
+				t.Errorf("ParseAuthTokens(%q)[%s] = %q, want %q", tc.in, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestLoadAuthTokenFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tokens")
+	content := "# farm tokens\n\nalice=s1\nbob = with spaces kept after cut\n"
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := LoadAuthTokenFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got["alice"] != "s1" {
+		t.Errorf("alice token = %q, want s1", got["alice"])
+	}
+	if len(got) != 2 {
+		t.Errorf("loaded %d tenants, want 2", len(got))
+	}
+
+	if _, err := LoadAuthTokenFile(filepath.Join(dir, "missing")); err == nil {
+		t.Errorf("missing file: want error")
+	}
+	bad := filepath.Join(dir, "bad")
+	os.WriteFile(bad, []byte("not-a-pair\n"), 0o600)
+	if _, err := LoadAuthTokenFile(bad); err == nil {
+		t.Errorf("malformed line: want error")
+	}
+	empty := filepath.Join(dir, "empty")
+	os.WriteFile(empty, []byte("# only comments\n"), 0o600)
+	if _, err := LoadAuthTokenFile(empty); err == nil {
+		t.Errorf("empty table: want error")
+	}
+}
+
+// TestAuthIndexRejectsBadTables pins that misconfiguration fails server
+// construction instead of silently mis-authenticating.
+func TestAuthIndexRejectsBadTables(t *testing.T) {
+	bad := []map[string]string{
+		{"alice": ""},                    // empty token
+		{"bad tenant!": "s1"},            // invalid tenant name
+		{"alice": "same", "bob": "same"}, // shared token
+		{strings.Repeat("x", 65): "s1"},  // name too long
+	}
+	for i, table := range bad {
+		if _, err := New(Options{DataDir: t.TempDir(), AuthTokens: table}); err == nil {
+			t.Errorf("case %d: New accepted a bad token table %v", i, table)
+		}
+	}
+}

@@ -26,16 +26,28 @@ const DefaultTenant = "anon"
 //	                           -metrics-every): Prometheus text exposition of
 //	                           the newest snapshot per design, or every batch
 //	                           as NDJSON/SSE with ?follow=1
+//	POST /v1/leases                  acquire a batch of points under a lease
+//	                                 (farm workers; empty grant = poll later)
+//	POST /v1/leases/{id}/heartbeat   renew the lease TTL; 410 once expired
+//	POST /v1/leases/{id}/complete    upload point results (idempotent)
+//	POST /v1/leases/{id}/release     requeue unstarted points (graceful drain)
 //	GET  /healthz              liveness (always 200 while the process serves)
 //	GET  /readyz               admission readiness (503 while draining)
 //	GET  /statz                operability snapshot (queue depths, cache hit
-//	                           rate, per-tenant in-flight, points/s)
+//	                           rate, per-tenant in-flight, points/s, leases)
+//
+// When the server is configured with auth tokens, every mutating endpoint
+// (POST /v1/jobs and the whole lease surface) requires a bearer token.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/leases", s.handleLeaseAcquire)
+	mux.HandleFunc("POST /v1/leases/{id}/heartbeat", s.handleLeaseHeartbeat)
+	mux.HandleFunc("POST /v1/leases/{id}/complete", s.handleLeaseComplete)
+	mux.HandleFunc("POST /v1/leases/{id}/release", s.handleLeaseRelease)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -62,31 +74,22 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// tenantOf extracts and validates the tenant identity. Tenant names become
-// map keys and log fields, so the charset is restricted.
+// tenantOf extracts and validates the honor-system tenant identity, used
+// when no auth tokens are configured.
 func tenantOf(r *http.Request) (string, error) {
 	t := r.Header.Get("X-Tenant")
 	if t == "" {
 		return DefaultTenant, nil
 	}
-	if len(t) > 64 {
-		return "", fmt.Errorf("tenant name longer than 64 bytes")
-	}
-	for _, c := range t {
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
-			c == '-', c == '_', c == '.':
-		default:
-			return "", fmt.Errorf("tenant name may only contain [A-Za-z0-9._-]")
-		}
+	if err := validTenant(t); err != nil {
+		return "", err
 	}
 	return t, nil
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	tenantName, err := tenantOf(r)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad tenant: %v", err)
+	tenantName, ok := s.authTenant(w, r)
+	if !ok {
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
@@ -103,15 +106,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var ae *AdmissionError
 		if errors.As(err, &ae) {
-			secs := int(ae.RetryAfter.Seconds())
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
-			writeJSON(w, ae.Status, map[string]interface{}{
-				"error":               ae.Reason,
-				"retry_after_seconds": secs,
-			})
+			writeAdmissionError(w, ae)
 			return
 		}
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -119,6 +114,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Location", "/v1/jobs/"+st.ID)
 	writeJSON(w, http.StatusCreated, st)
+}
+
+// writeAdmissionError maps an AdmissionError to its HTTP shape: the status
+// it names plus a Retry-After hint.
+func writeAdmissionError(w http.ResponseWriter, ae *AdmissionError) {
+	secs := int(ae.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	writeJSON(w, ae.Status, map[string]interface{}{
+		"error":               ae.Reason,
+		"retry_after_seconds": secs,
+	})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -196,4 +205,103 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// maxLeaseBodyBytes bounds lease-protocol request bodies. Completion uploads
+// carry one gpu.Results per point, so the cap is generous but finite.
+const maxLeaseBodyBytes = 64 << 20
+
+// readLeaseBody decodes a lease-protocol JSON body into v, rejecting
+// oversized or malformed payloads with 400. An empty body decodes the zero
+// value (every lease request has usable defaults).
+func readLeaseBody(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxLeaseBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: %v", err)
+		return false
+	}
+	if len(body) == 0 {
+		return true
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad body: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleLeaseAcquire(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
+	var req LeaseRequest
+	if !readLeaseBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		req.Worker = "worker"
+	}
+	if err := validTenant(req.Worker); err != nil {
+		writeError(w, http.StatusBadRequest, "bad worker name: %v", err)
+		return
+	}
+	g, err := s.AcquireLease(req.Worker, req.MaxPoints)
+	if err != nil {
+		var ae *AdmissionError
+		if errors.As(err, &ae) {
+			writeAdmissionError(w, ae)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+func (s *Server) handleLeaseHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
+	ttl, ok := s.RenewLease(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusGone, "unknown or expired lease %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{TTLSeconds: ttl.Seconds()})
+}
+
+func (s *Server) handleLeaseComplete(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
+	var req CompleteRequest
+	if !readLeaseBody(w, r, &req) {
+		return
+	}
+	statuses, err := s.CompleteLeasePoints(r.PathValue("id"), req.Completions)
+	if err != nil {
+		if errors.Is(err, ErrUnknownLease) {
+			writeError(w, http.StatusGone, "unknown or expired lease %q", r.PathValue("id"))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, CompleteResponse{Statuses: statuses})
+}
+
+func (s *Server) handleLeaseRelease(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.authTenant(w, r); !ok {
+		return
+	}
+	var req ReleaseRequest
+	if !readLeaseBody(w, r, &req) {
+		return
+	}
+	requeued, ok := s.ReleaseLease(r.PathValue("id"), req.Tokens)
+	if !ok {
+		writeError(w, http.StatusGone, "unknown or expired lease %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ReleaseResponse{Requeued: requeued})
 }

@@ -49,6 +49,7 @@ type JobStatus struct {
 	Cached      int  `json:"cached"`
 	Quarantined int  `json:"quarantined"`
 	InFlight    int  `json:"in_flight"`
+	Leased      int  `json:"leased,omitempty"`    // points out under farm leases
 	Recovered   bool `json:"recovered,omitempty"` // resumed after a restart
 	BreakerOpen bool `json:"breaker_open,omitempty"`
 
@@ -73,6 +74,7 @@ type job struct {
 	cached      int
 	quarantined int
 	inflight    int
+	leased      int  // points currently out under farm leases
 	consecFails int  // consecutive non-quarantine failures (breaker input)
 	tripped     bool // circuit breaker open: pending points quarantine
 	finished    bool
@@ -97,13 +99,14 @@ func (j *job) status(withResults bool) JobStatus {
 		Cached:      j.cached,
 		Quarantined: j.quarantined,
 		InFlight:    j.inflight,
+		Leased:      j.leased,
 		Recovered:   j.recovered,
 		BreakerOpen: j.tripped,
 	}
 	switch {
 	case j.finished:
 		st.State = StateDone
-	case j.terminal > 0 || j.inflight > 0:
+	case j.terminal > 0 || j.inflight > 0 || j.leased > 0:
 		st.State = StateRunning
 	}
 	if withResults {
@@ -119,20 +122,37 @@ type point struct {
 	name string // canonical design name
 	key  string // content address
 	gj   gpu.Job
+
+	// Farm lease state (all guarded by the server mutex):
+	epoch  int    // bumped at every grant; completions must echo it (fencing)
+	deaths int    // lease expiries while held (poison-point counter)
+	lease  *lease // the live lease holding this point, nil otherwise
 }
 
-// jobRecord is one line of the job log (jobs.jsonl): a submission or a
-// terminal marker. A submission without a matching done record is an
-// incomplete job — restart recovery resubmits it under the same ID, and the
-// content-addressed store turns its already-finished points into instant
-// cache hits, so the completed job's output is byte-identical to an
-// uninterrupted run's.
+// jobRecord is one line of the job log (jobs.jsonl): a submission, a
+// terminal marker, or a farm-lease boundary. A submission without a matching
+// done record is an incomplete job — restart recovery resubmits it under the
+// same ID, and the content-addressed store turns its already-finished points
+// into instant cache hits, so the completed job's output is byte-identical
+// to an uninterrupted run's. Lease records ("lease"/"lease_end") restore
+// each point's epoch high-water mark on replay, fencing workers that
+// outlived a server restart; for lease_end records the Worker field records
+// how the lease ended rather than who held it.
 type jobRecord struct {
-	Op     string          `json:"op"` // "submit" or "done"
-	ID     string          `json:"id"`
-	Tenant string          `json:"tenant,omitempty"`
-	Spec   json.RawMessage `json:"spec,omitempty"`
-	Failed int             `json:"failed,omitempty"`
+	Op     string             `json:"op"` // "submit", "done", "lease", "lease_end"
+	ID     string             `json:"id"`
+	Tenant string             `json:"tenant,omitempty"`
+	Spec   json.RawMessage    `json:"spec,omitempty"`
+	Failed int                `json:"failed,omitempty"`
+	Worker string             `json:"worker,omitempty"`
+	Points []leasePointRecord `json:"points,omitempty"`
+}
+
+// leasePointRecord pins one granted point's epoch in the job log.
+type leasePointRecord struct {
+	Job   string `json:"job"`
+	Index int    `json:"index"`
+	Epoch int    `json:"epoch"`
 }
 
 // jobID derives a stable job identity from the submission: tenant, a

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +67,33 @@ type Options struct {
 	MetricsEvery int64
 	// Progress, when non-nil, receives the supervisor's per-point lines.
 	Progress io.Writer
+
+	// LeaseTTL bounds how long a farm lease survives without a heartbeat
+	// before its points requeue (default 15s).
+	LeaseTTL time.Duration
+	// LeaseMaxPoints caps one grant (default 64).
+	LeaseMaxPoints int
+	// PoisonThreshold parks a point as poison after this many lease
+	// expiries — a point that keeps killing workers must not cycle through
+	// the fleet forever. Default 3; negative disables.
+	PoisonThreshold int
+	// CoordinatorOnly disables the local worker pool: the server admits,
+	// schedules, leases, and stores, but never simulates. Farm workers do
+	// all the computing.
+	CoordinatorOnly bool
+	// AuthTokens maps tenant names to static bearer tokens. When non-empty,
+	// every mutating endpoint (job submission and the lease API) requires
+	// Authorization: Bearer <token>; the token determines the tenant and
+	// the X-Tenant header is no longer trusted. Empty keeps the
+	// honor-system X-Tenant behavior for closed deployments.
+	AuthTokens map[string]string
+	// StoreMaxAge and StoreMaxBytes bound the result store: entries older
+	// than MaxAge (or the oldest beyond MaxBytes) are dropped when
+	// results.jsonl is compacted — at startup and every CompactEvery
+	// (default 1h when a bound is set). Zero values keep everything.
+	StoreMaxAge   time.Duration
+	StoreMaxBytes int64
+	CompactEvery  time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +117,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BreakerThreshold == 0 {
 		o.BreakerThreshold = 3
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.LeaseMaxPoints <= 0 {
+		o.LeaseMaxPoints = 64
+	}
+	if o.PoisonThreshold == 0 {
+		o.PoisonThreshold = 3
+	}
+	if o.CompactEvery <= 0 {
+		o.CompactEvery = time.Hour
 	}
 	return o
 }
@@ -135,8 +176,13 @@ type Server struct {
 
 	pendingPoints  int // all tenants' pending
 	inflightPoints int
-	running        map[string]bool     // content keys currently executing
+	running        map[string]bool     // content keys currently executing (locally or leased)
 	parked         map[string][]*point // points waiting on an identical in-flight key
+
+	leases       map[string]*lease // live farm leases by ID
+	leaseSeq     int
+	leasedPoints int               // points out under live leases
+	tokens       map[string]string // bearer token → tenant (auth index)
 
 	draining bool
 	stopped  bool
@@ -157,6 +203,13 @@ type Server struct {
 	runNanos          atomic.Int64 // cumulative fresh-simulation wall time
 	runCount          atomic.Int64
 
+	// farm lifetime counters
+	leasesGranted  atomic.Int64
+	leasesExpired  atomic.Int64
+	leasesReleased atomic.Int64
+	pointsRequeued atomic.Int64 // lease expiries + releases
+	pointsPoisoned atomic.Int64
+
 	// beforePoint, when set (tests), runs before each fresh point executes —
 	// a hook to hold the worker pool in a known state.
 	beforePoint func(p *point)
@@ -170,7 +223,13 @@ func New(opt Options) (*Server, error) {
 	if opt.DataDir == "" {
 		return nil, fmt.Errorf("serve: Options.DataDir is required (persistent state lives there)")
 	}
-	store, err := OpenStore(filepath.Join(opt.DataDir, "results.jsonl"))
+	tokens, err := authIndex(opt.AuthTokens)
+	if err != nil {
+		return nil, err
+	}
+	store, err := OpenStore(filepath.Join(opt.DataDir, "results.jsonl"), StorePolicy{
+		MaxAge: opt.StoreMaxAge, MaxBytes: opt.StoreMaxBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +240,8 @@ func New(opt Options) (*Server, error) {
 		jobs:    map[string]*job{},
 		running: map[string]bool{},
 		parked:  map[string][]*point{},
+		leases:  map[string]*lease{},
+		tokens:  tokens,
 		started: time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -193,6 +254,8 @@ func New(opt Options) (*Server, error) {
 	}
 	var subs []sub
 	done := map[string]bool{}
+	leaseSeq := 0
+	epochs := map[string]map[int]int{} // jobID → point index → epoch high-water mark
 	jlog, err := experiments.OpenLog(filepath.Join(opt.DataDir, "jobs.jsonl"), func(line []byte) {
 		var rec jobRecord
 		if json.Unmarshal(line, &rec) != nil || rec.ID == "" {
@@ -203,6 +266,20 @@ func New(opt Options) (*Server, error) {
 			subs = append(subs, sub{id: rec.ID, tenant: rec.Tenant, raw: rec.Spec})
 		case "done":
 			done[rec.ID] = true
+		case "lease":
+			// Restore epoch high-water marks: the next grant after a restart
+			// must fence every worker that was granted before it.
+			leaseSeq++
+			for _, pt := range rec.Points {
+				m := epochs[pt.Job]
+				if m == nil {
+					m = map[int]int{}
+					epochs[pt.Job] = m
+				}
+				if pt.Epoch > m[pt.Index] {
+					m[pt.Index] = pt.Epoch
+				}
+			}
 		}
 	})
 	if err != nil {
@@ -211,6 +288,7 @@ func New(opt Options) (*Server, error) {
 	}
 	s.jlog = jlog
 	s.jobSeq = len(subs)
+	s.leaseSeq = leaseSeq
 
 	var finishedNow []*job
 	s.mu.Lock()
@@ -234,16 +312,57 @@ func New(opt Options) (*Server, error) {
 			finishedNow = append(finishedNow, j)
 		}
 	}
+	// Leased points recover exactly like queued ones (their jobs had no done
+	// record), but their replayed epochs must carry over so post-restart
+	// grants out-fence every pre-restart worker.
+	if len(epochs) > 0 {
+		for _, t := range s.tenants {
+			for _, p := range t.queue {
+				if e, ok := epochs[p.job.id][p.idx]; ok && e > p.epoch {
+					p.epoch = e
+				}
+			}
+		}
+	}
 	s.mu.Unlock()
 	for _, j := range finishedNow {
 		s.logDone(j)
 	}
 
-	for i := 0; i < opt.Workers; i++ {
+	if !opt.CoordinatorOnly {
+		for i := 0; i < opt.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
+	}
+	s.wg.Add(1)
+	go s.leaseReaper()
+	if opt.StoreMaxAge > 0 || opt.StoreMaxBytes > 0 {
+		if _, err := s.store.Compact(time.Now()); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: startup store compaction: %v\n", err)
+		}
 		s.wg.Add(1)
-		go s.worker()
+		go s.compactor()
 	}
 	return s, nil
+}
+
+// compactor periodically applies the store's TTL/size policy so a
+// long-running daemon's results.jsonl does not grow without bound.
+func (s *Server) compactor() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.opt.CompactEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.runCtx.Done():
+			return
+		case <-tick.C:
+			if _, err := s.store.Compact(time.Now()); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: store compaction: %v\n", err)
+			}
+		}
+	}
 }
 
 // Submit admits one sweep for tenantName, returning the job snapshot. A
@@ -260,7 +379,7 @@ func (s *Server) Submit(tenantName string, spec SweepSpec) (JobStatus, error) {
 		e := &AdmissionError{
 			Reason:     fmt.Sprintf("queue full: %d pending + %d new points exceed the %d bound", s.pendingPoints, n, s.opt.MaxQueuedPoints),
 			Status:     429,
-			RetryAfter: s.retryAfterLocked(n),
+			RetryAfter: s.retryAfterLocked(tenantName, n),
 		}
 		s.mu.Unlock()
 		return JobStatus{}, e
@@ -269,7 +388,7 @@ func (s *Server) Submit(tenantName string, spec SweepSpec) (JobStatus, error) {
 		e := &AdmissionError{
 			Reason:     fmt.Sprintf("tenant quota: %d pending + %d new points exceed the %d per-tenant bound", t.pending, n, s.opt.TenantMaxQueued),
 			Status:     429,
-			RetryAfter: s.retryAfterLocked(n),
+			RetryAfter: s.retryAfterLocked(tenantName, n),
 		}
 		s.mu.Unlock()
 		return JobStatus{}, e
@@ -297,8 +416,12 @@ func (s *Server) Submit(tenantName string, spec SweepSpec) (JobStatus, error) {
 
 // retryAfterLocked estimates when n points' worth of queue headroom will
 // exist, from the observed mean fresh-point runtime. Crude by design: the
-// hint only needs the right order of magnitude.
-func (s *Server) retryAfterLocked(n int) time.Duration {
+// hint only needs the right order of magnitude. The base estimate is
+// spread by a deterministic per-tenant jitter of up to +25% — a worker
+// fleet (or any set of synchronized clients) that all hit 429 in the same
+// instant would otherwise obey identical hints and stampede the queue
+// again in lockstep.
+func (s *Server) retryAfterLocked(tenantName string, n int) time.Duration {
 	avg := 250 * time.Millisecond
 	if c := s.runCount.Load(); c > 0 {
 		avg = time.Duration(s.runNanos.Load() / c)
@@ -314,6 +437,9 @@ func (s *Server) retryAfterLocked(n int) time.Duration {
 	if d > 5*time.Minute {
 		d = 5 * time.Minute
 	}
+	// Deterministic per-tenant spread: same tenant, same hint (stable and
+	// testable); different tenants de-synchronize.
+	d += time.Duration(float64(d) * 0.25 * float64(fnv64(tenantName)%1024) / 1024)
 	return d
 }
 
@@ -590,6 +716,18 @@ func (s *Server) publish(p *point, pr PointResult, wasRunning bool) {
 // points parked behind its key. Returns whether this point finished the job.
 // Caller holds the mutex.
 func (s *Server) completeLocked(p *point, pr PointResult, wasRunning bool) bool {
+	if wasRunning {
+		s.releaseLocked(p)
+	}
+	return s.resolveLocked(p, pr)
+}
+
+// resolveLocked records one terminal point result — fresh, cached, failed,
+// quarantined, or farm-uploaded — updates the job's counters and breaker,
+// and wakes streamers and workers. It does not touch in-flight or lease
+// bookkeeping; callers settle those first. Returns whether this point
+// finished the job. Caller holds the mutex.
+func (s *Server) resolveLocked(p *point, pr PointResult) bool {
 	j := p.job
 	t := s.tenants[j.tenant]
 	j.results = append(j.results, pr)
@@ -616,9 +754,6 @@ func (s *Server) completeLocked(p *point, pr PointResult, wasRunning bool) bool 
 			j.tripped = true
 		}
 	}
-	if wasRunning {
-		s.releaseLocked(p)
-	}
 	// Wake streamers on this job and workers waiting for slots or requeues.
 	close(j.notify)
 	j.notify = make(chan struct{})
@@ -639,8 +774,16 @@ func (s *Server) releaseLocked(p *point) {
 	t.inflight--
 	p.job.inflight--
 	delete(s.running, p.key)
-	if waiters := s.parked[p.key]; len(waiters) > 0 {
-		delete(s.parked, p.key)
+	s.requeueParkedLocked(p.key)
+}
+
+// requeueParkedLocked requeues points parked behind key at the head of
+// their tenants' queues (they resolve from the store, or run fresh if the
+// attempt failed). Caller holds the mutex and must already have cleared the
+// key from s.running.
+func (s *Server) requeueParkedLocked(key string) {
+	if waiters := s.parked[key]; len(waiters) > 0 {
+		delete(s.parked, key)
 		for _, w := range waiters {
 			wt := s.tenants[w.job.tenant]
 			wt.queue = append([]*point{w}, wt.queue...)
@@ -769,7 +912,29 @@ type Statz struct {
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
 
+	StoreCompactions int64 `json:"store_compactions,omitempty"`
+	StoreDropped     int64 `json:"store_dropped,omitempty"`
+
+	// Farm view: points out under leases and the live lease table.
+	LeasedPoints   int          `json:"leased_points"`
+	ActiveLeases   int          `json:"active_leases"`
+	LeasesGranted  int64        `json:"leases_granted"`
+	LeasesExpired  int64        `json:"leases_expired"`
+	LeasesReleased int64        `json:"leases_released"`
+	PointsRequeued int64        `json:"points_requeued"`
+	PointsPoisoned int64        `json:"points_poisoned"`
+	Leases         []LeaseStatz `json:"leases,omitempty"`
+
 	Tenants map[string]TenantStatz `json:"tenants"`
+}
+
+// LeaseStatz is one live lease's /statz row.
+type LeaseStatz struct {
+	ID         string  `json:"id"`
+	Worker     string  `json:"worker"`
+	Points     int     `json:"points"`
+	AgeSeconds float64 `json:"age_seconds"`
+	TTLSeconds float64 `json:"ttl_seconds"` // time until expiry absent a heartbeat
 }
 
 // Stats builds the /statz snapshot.
@@ -797,8 +962,30 @@ func (s *Server) Stats() Statz {
 		CacheHits:    s.store.Hits(),
 		CacheMisses:  s.store.Misses(),
 
+		StoreCompactions: s.store.Compactions(),
+		StoreDropped:     s.store.Dropped(),
+
+		LeasedPoints:   s.leasedPoints,
+		ActiveLeases:   len(s.leases),
+		LeasesGranted:  s.leasesGranted.Load(),
+		LeasesExpired:  s.leasesExpired.Load(),
+		LeasesReleased: s.leasesReleased.Load(),
+		PointsRequeued: s.pointsRequeued.Load(),
+		PointsPoisoned: s.pointsPoisoned.Load(),
+
 		Tenants: map[string]TenantStatz{},
 	}
+	now := time.Now()
+	for _, l := range s.leases {
+		st.Leases = append(st.Leases, LeaseStatz{
+			ID:         l.id,
+			Worker:     l.worker,
+			Points:     len(l.points),
+			AgeSeconds: now.Sub(l.grantedAt).Seconds(),
+			TTLSeconds: l.expires.Sub(now).Seconds(),
+		})
+	}
+	sort.Slice(st.Leases, func(i, k int) bool { return st.Leases[i].ID < st.Leases[k].ID })
 	for _, j := range s.jobs {
 		if !j.finished {
 			st.JobsActive++

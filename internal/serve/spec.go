@@ -181,6 +181,16 @@ func (s SweepSpec) Encode() []byte {
 	return b
 }
 
+// Single returns the one-point spec for design index i: the same spec with
+// Designs reduced to that design. Expanding it yields the exact gpu.Job the
+// full spec expands at i, so a leased point simulated by a farm worker is
+// byte-identical to the same point run locally.
+func (s SweepSpec) Single(i int) SweepSpec {
+	c := s
+	c.Designs = []string{s.Designs[i]}
+	return c
+}
+
 // Config returns the machine configuration the spec selects.
 func (s SweepSpec) Config() gpu.Config {
 	return gpu.Config{

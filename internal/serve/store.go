@@ -2,6 +2,7 @@ package serve
 
 import (
 	"sync/atomic"
+	"time"
 
 	"dcl1sim/internal/chaos"
 	"dcl1sim/internal/experiments"
@@ -16,18 +17,55 @@ import (
 // result that was reported stored. Hit/miss counters feed /statz.
 type Store struct {
 	j            *experiments.Journal
+	policy       StorePolicy
 	hits, misses atomic.Int64
+	compactions  atomic.Int64
+	dropped      atomic.Int64
 }
 
+// StorePolicy bounds the store's retention. Zero fields disable their half
+// of the policy: the default store keeps everything forever.
+type StorePolicy struct {
+	// MaxAge drops entries older than this at compaction time. Entries
+	// recorded before timestamps existed count as infinitely old.
+	MaxAge time.Duration
+	// MaxBytes bounds the rewritten results.jsonl size; oldest entries are
+	// dropped first until the survivors fit.
+	MaxBytes int64
+}
+
+// Enabled reports whether any retention bound is set.
+func (p StorePolicy) Enabled() bool { return p.MaxAge > 0 || p.MaxBytes > 0 }
+
 // OpenStore opens (or creates) the store at path, reloading every result a
-// previous process lifetime recorded.
-func OpenStore(path string) (*Store, error) {
+// previous process lifetime recorded. The policy only takes effect when the
+// owner calls Compact; opening never drops data by itself.
+func OpenStore(path string, policy StorePolicy) (*Store, error) {
 	j, err := experiments.OpenJournal(path)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{j: j}, nil
+	return &Store{j: j, policy: policy}, nil
 }
+
+// Compact rewrites the store file under the retention policy, returning how
+// many entries were dropped. A store without a policy compacts to a no-op
+// rewrite (superseded duplicate lines still collapse). Dropped entries
+// simply fall out of the cache — the points re-run byte-identically on next
+// demand, so compaction can never bend a result.
+func (s *Store) Compact(now time.Time) (int, error) {
+	n, err := s.j.Compact(s.policy.MaxAge, s.policy.MaxBytes, now)
+	if err != nil {
+		return n, err
+	}
+	s.compactions.Add(1)
+	s.dropped.Add(int64(n))
+	return n, nil
+}
+
+// Compactions and Dropped return the lifetime compaction counters.
+func (s *Store) Compactions() int64 { return s.compactions.Load() }
+func (s *Store) Dropped() int64     { return s.dropped.Load() }
 
 // Key returns the content address of one point. The service never arms the
 // power-capping governor (SweepSpec has no cap field), so the cap component
